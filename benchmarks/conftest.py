@@ -1,0 +1,22 @@
+"""Shared configuration for the figure/table regeneration benchmarks.
+
+Each benchmark runs its experiment exactly once (they are deterministic
+simulations — repeated rounds would only re-measure Python overhead) and
+prints the regenerated rows/series so ``pytest benchmarks/ --benchmark-only``
+doubles as a quick reproduction report.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+    return _run

@@ -1,0 +1,18 @@
+"""Fig. 2 bench: compute vs communication time when scaling up GPUs."""
+
+from repro.experiments import fig02_scaling
+from repro.experiments.runner import QUICK
+
+
+def test_fig02_compute_comm_scaling(once):
+    results = once(fig02_scaling.run, QUICK)
+    print()
+    print(fig02_scaling.format_table(results))
+    ratios = [results[tp]["ratio"] for tp in sorted(results)]
+    # Communication share grows monotonically with the GPU count...
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    # ...and overtakes computation somewhere in the 4-16 GPU range
+    # (the paper's crossover is at 4-8 GPUs, ~1.6x at 8).
+    assert results[4]["ratio"] < 1.5
+    assert results[16]["ratio"] > 1.0
+    assert 0.5 < results[8]["ratio"] < 3.0

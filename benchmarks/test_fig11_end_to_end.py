@@ -1,0 +1,22 @@
+"""Fig. 11 bench: end-to-end speedup across training and inference."""
+
+from repro.experiments import fig11_end_to_end
+from repro.experiments.runner import QUICK, geomean
+
+
+def test_fig11_end_to_end_speedups(once):
+    results = once(fig11_end_to_end.run, QUICK, True, ["LLaMA-7B"])
+    print()
+    print(fig11_end_to_end.format_table(results))
+    for mode in ("inference", "training"):
+        rows = results[mode]["LLaMA-7B"]
+        cais = rows["CAIS"]["per_layer_us"]
+        # CAIS wins against every baseline (paper Fig. 11).
+        for system, row in rows.items():
+            if system != "CAIS":
+                assert row["per_layer_us"] > cais, (mode, system)
+        # Headline factors, loose bands around the paper's geomeans.
+        assert 1.1 < rows["TP-NVLS"]["per_layer_us"] / cais < 2.2
+        assert 1.2 < rows["CoCoNet"]["per_layer_us"] / cais < 3.0
+        assert rows["LADM"]["per_layer_us"] / cais > 2.5
+        assert 1.02 < rows["CAIS-Base"]["per_layer_us"] / cais < 2.2

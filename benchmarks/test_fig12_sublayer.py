@@ -1,0 +1,28 @@
+"""Fig. 12 bench: sub-layer (GEMM-RS + LN + AG-GEMM) speedups L1-L4."""
+
+from repro.experiments import fig12_sublayer
+from repro.experiments.runner import QUICK, geomean
+
+
+def test_fig12_sublayer_speedups(once):
+    results = once(fig12_sublayer.run, QUICK, ["LLaMA-7B"])
+    print()
+    print(fig12_sublayer.format_table(results))
+    per_system = {}
+    for subs in results.values():
+        for which, systems in subs.items():
+            cais = systems["CAIS"]
+            for system, t in systems.items():
+                if system != "CAIS":
+                    per_system.setdefault(system, []).append(t / cais)
+    gm = {s: geomean(v) for s, v in per_system.items()}
+    # Paper Fig. 12 geomeans: 1.39, 1.91, 1.99, 1.91, 1.64, 1.24, 1.20,
+    # 1.47, 7.90 — we assert each baseline loses and the ordering of the
+    # big splits holds.
+    assert all(v > 1.0 for v in gm.values()), gm
+    assert gm["LADM"] == max(gm.values())
+    assert gm["CoCoNet"] > gm["CoCoNet-NVLS"]
+    assert gm["FuseLib"] > gm["FuseLib-NVLS"]
+    # T3 vs T3-NVLS nearly tie at benchmark scale; the gap opens at the
+    # default experiment scale (see EXPERIMENTS.md).
+    assert gm["T3"] > gm["T3-NVLS"] * 0.97

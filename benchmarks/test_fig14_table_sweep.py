@@ -1,0 +1,20 @@
+"""Fig. 14 bench: performance sensitivity to merge-table size."""
+
+from repro.experiments import fig14_table_sweep
+from repro.experiments.runner import QUICK
+
+
+def test_fig14_table_size_sweep(once):
+    results = once(fig14_table_sweep.run, QUICK)
+    print()
+    print(fig14_table_sweep.format_table(results))
+    norm = fig14_table_sweep.normalized(results)
+    capacities = sorted(norm["CAIS"])
+    # Coordinated CAIS dominates the uncoordinated variant at every size.
+    for entries in capacities:
+        assert norm["CAIS"][entries] >= \
+            norm["CAIS-w/o-Coord"][entries] * 0.97, entries
+    # The coordinated system recovers full performance by the shipping
+    # 320-entry table; the uncoordinated one is still degraded there.
+    assert norm["CAIS"][capacities[-1]] > 0.95
+    assert norm["CAIS-w/o-Coord"][capacities[-1]] < 0.92

@@ -1,0 +1,21 @@
+"""Fig. 16 bench: bandwidth utilization over time (L2 of LLaMA-7B)."""
+
+from repro.experiments import fig16_utilization_trace
+from repro.experiments.runner import QUICK
+
+
+def test_fig16_utilization_trace(once):
+    results = once(fig16_utilization_trace.run, QUICK)
+    print()
+    print(fig16_utilization_trace.format_table(results))
+    stats = {system: fig16_utilization_trace.steady_state_stats(series)
+             for system, series in results.items()}
+    # CAIS-Base's barrier phases make its trace the most fluctuating:
+    # its steady-state dips are the deepest of the three (paper Fig. 16).
+    base_swing = stats["CAIS-Base"]["max"] - stats["CAIS-Base"]["min"]
+    cais_swing = stats["CAIS"]["max"] - stats["CAIS"]["min"]
+    assert base_swing > cais_swing * 0.9
+    # The fused configurations sustain higher utilization through the
+    # middle of the run instead of alternating saturated/idle phases.
+    assert stats["CAIS"]["mean"] > stats["CAIS-Base"]["mean"]
+    assert len(results["CAIS"]) >= 12

@@ -1,0 +1,27 @@
+"""Sensitivity bench: the headline speedup is a regime property, not a
+single-calibration artifact."""
+
+from repro.experiments import sensitivity
+from repro.experiments.runner import QUICK
+
+
+def test_bandwidth_sensitivity(once):
+    results = once(sensitivity.bandwidth_sweep, QUICK, (8.0, 16.0, 32.0))
+    print()
+    for bw, row in sorted(results.items()):
+        print(f"  {bw:5.0f} GB/s/plane: speedup {row['speedup']:.2f}x")
+    # CAIS wins at every bandwidth point across a 4x range.
+    for bw, row in results.items():
+        assert row["speedup"] > 1.05, bw
+    # More bandwidth means faster absolute times for both systems.
+    times = [results[bw]["cais_us"] for bw in sorted(results)]
+    assert all(b < a for a, b in zip(times, times[1:]))
+
+
+def test_seed_robustness(once):
+    stats = once(sensitivity.seed_sweep, QUICK, (1, 2, 3))
+    print(f"\n  speedup {stats['mean']:.2f} +/- {stats['stdev']:.3f} "
+          f"(n={stats['n']})")
+    # The effect dwarfs the run-to-run noise.
+    assert stats["min"] > 1.05
+    assert stats["stdev"] < 0.1

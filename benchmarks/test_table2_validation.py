@@ -1,0 +1,16 @@
+"""Table II bench: full- vs half-scale speedup preservation."""
+
+from repro.experiments import table2_scaling_validation
+from repro.experiments.runner import QUICK
+
+
+def test_table2_scaling_validation(once):
+    results = once(table2_scaling_validation.run, QUICK)
+    print()
+    print(table2_scaling_validation.format_table(results))
+    full = results["Full"]["speedup"]
+    half = results["Half"]["speedup"]
+    # The scaled-down setup preserves the CAIS-over-TP-NVLS speedup
+    # (paper: 1.43 full vs 1.40 half).
+    assert full > 1.0 and half > 1.0
+    assert abs(full - half) < 0.2

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a serving stack for LLaMA-7B prefill on one DGX node.
+
+A deployment question the paper's introduction motivates: you serve LLaMA
+with 8-way tensor parallelism; the prefill stage is communication-heavy,
+so which compute-communication strategy should the stack use?  This example
+runs one full transformer layer (forward pass — the prefill's unit of work)
+under every system the paper evaluates and prints a ranking with the
+communication share of each.
+
+Run:  python examples/llama_tp_inference.py [--scale 0.125]
+"""
+
+import argparse
+
+from repro.common.config import dgx_h100_config
+from repro.experiments.runner import layer_graphs, style_for
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.systems import SYSTEM_CLASSES, make_system
+
+SYSTEMS = ("TP-NVLS", "SP-NVLS", "CoCoNet", "FuseLib", "T3",
+           "CoCoNet-NVLS", "FuseLib-NVLS", "T3-NVLS", "LADM", "CAIS")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.125,
+                        help="fraction of LLaMA-7B's tokens to simulate")
+    args = parser.parse_args()
+
+    model = LLAMA_7B.scaled(args.scale)
+    config = dgx_h100_config()
+    tiling = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+    print(f"LLaMA-7B prefill, one layer, TP=8, tokens={model.tokens} "
+          f"(scale {args.scale})\n")
+    rows = []
+    for name in SYSTEMS:
+        graphs = layer_graphs(model, config.num_gpus, name, training=False)
+        res = make_system(name, config, tiling=tiling).run(graphs)
+        rows.append((res.makespan_ns, name, res))
+
+    rows.sort()
+    best = rows[0][0]
+    print(f"{'rank':4s} {'system':14s} {'layer time':>12s} "
+          f"{'vs best':>8s} {'TP style':>9s} {'link util':>10s}")
+    for rank, (makespan, name, res) in enumerate(rows, 1):
+        print(f"{rank:<4d} {name:14s} {makespan / 1e3:10.1f} us "
+              f"{makespan / best:7.2f}x {style_for(name):>9s} "
+              f"{res.average_bandwidth_utilization():9.1%}")
+
+    layers = LLAMA_7B.layers
+    fastest = rows[0]
+    print(f"\nAt {layers} layers, the fastest stack ({fastest[1]}) spends "
+          f"{fastest[0] * layers / 1e6:.2f} ms per prefill step on this "
+          f"simulated node.")
+
+
+if __name__ == "__main__":
+    main()

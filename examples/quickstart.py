@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run one communication-heavy sub-layer under CAIS and a
+baseline, and print the speedup.
+
+This is the smallest end-to-end use of the library:
+
+1. pick a model (paper Table I) and scale it down so the run takes seconds,
+2. build the GEMM-RS + LN + AG-GEMM sub-layer graph (paper Fig. 12's L1),
+3. run it under SP-NVLS (communication-centric in-switch computing) and
+   under CAIS (compute-aware), on identical simulated DGX-H100 nodes,
+4. compare makespans, bandwidth utilization and merge statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.config import dgx_h100_config
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import sublayer_graph
+from repro.systems import make_system
+
+
+def main() -> None:
+    # 1. Workload: LLaMA-7B at 1/8 of its token count (seconds, not hours).
+    model = LLAMA_7B.scaled(0.125)
+    config = dgx_h100_config()           # 8 GPUs x 4 NVSwitch planes
+    tiling = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+    # 2. The paper's L1 sub-layer: output projection -> LN -> first FFN.
+    graph = sublayer_graph(model, tp=config.num_gpus, which="L1")
+
+    # 3. Run both systems.  Each run builds a fresh simulated node.
+    results = {}
+    for name in ("SP-NVLS", "CAIS"):
+        graph = sublayer_graph(model, tp=config.num_gpus, which="L1")
+        results[name] = make_system(name, config, tiling=tiling).run([graph])
+
+    # 4. Report.
+    print(f"workload: {model.name} (scaled), L1 sub-layer, "
+          f"TP={config.num_gpus}")
+    for name, res in results.items():
+        print(f"  {name:8s}: {res.makespan_ns / 1e3:8.1f} us   "
+              f"link utilization {res.average_bandwidth_utilization():.1%}   "
+              f"({res.tbs_completed} thread blocks, {res.events} events)")
+    speedup = results["SP-NVLS"].makespan_ns / results["CAIS"].makespan_ns
+    print(f"  CAIS speedup over SP-NVLS: {speedup:.2f}x")
+
+    merge = results["CAIS"].merge_stats
+    print(f"\nCAIS in-switch merging: "
+          f"{merge.sessions_completed} sessions completed, "
+          f"{merge.requests_merged} requests merged, "
+          f"average first-to-last request spread "
+          f"{merge.average_wait_ns() / 1e3:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

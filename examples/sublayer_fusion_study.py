@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: dissecting where CAIS's speedup comes from.
+
+An architecture-study workflow: take the L1 sub-layer (GEMM-RS + LN +
+AG-GEMM) and switch CAIS's three techniques on one at a time —
+
+  1. compute-aware ISA + in-switch merging only      (CAIS-Base)
+  2. + graph-level dataflow optimizer                (CAIS-Partial)
+  3. + traffic control (separate load/reduce VCs)    (CAIS)
+  4. full minus TB coordination                      (CAIS-w/o-Coord)
+
+— and report, for each, the makespan, link utilization, merge-session
+statistics and eviction behaviour, i.e. a reproduction of the paper's
+Section V-B analysis in one script.
+
+Run:  python examples/sublayer_fusion_study.py
+"""
+
+from repro.common.config import dgx_h100_config
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import sublayer_graph
+from repro.systems import make_system
+
+VARIANTS = ("CAIS-Base", "CAIS-Partial", "CAIS", "CAIS-w/o-Coord")
+
+
+def main() -> None:
+    model = LLAMA_7B.scaled(0.25)
+    config = dgx_h100_config()
+    tiling = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+    print("CAIS technique study on LLaMA-7B L1 "
+          "(output projection -> LN -> FFN1), TP=8\n")
+    results = {}
+    for name in VARIANTS:
+        graph = sublayer_graph(model, config.num_gpus, "L1")
+        results[name] = make_system(name, config, tiling=tiling).run([graph])
+
+    header = (f"{'variant':16s} {'time':>10s} {'util':>6s} "
+              f"{'sessions':>9s} {'merged':>7s} {'evicted':>8s} "
+              f"{'wait':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name in VARIANTS:
+        res = results[name]
+        m = res.merge_stats.summary()
+        print(f"{name:16s} {res.makespan_ns / 1e3:8.1f} us "
+              f"{res.average_bandwidth_utilization():5.1%} "
+              f"{m['sessions_completed']:9.0f} {m['requests_merged']:7.0f} "
+              f"{m['lru_evictions'] + m['timeout_evictions']:8.0f} "
+              f"{m['average_wait_us']:6.1f} us")
+
+    base = results["CAIS-Base"].makespan_ns
+    full = results["CAIS"].makespan_ns
+    print(f"\nBreaking the global barrier (Base) is only the start: the "
+          f"dataflow optimizer and coordination add another "
+          f"{base / full:.2f}x on top of it (paper Section V-A-3: the "
+          f"unlocked scheduling space must actually be exploited).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+"""repro: reproduction of CAIS (HPCA 2026) and its full substrate stack."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,73 @@
+"""Library command line: run one system on one workload and print a report.
+
+Usage::
+
+    python -m repro --system CAIS --model LLaMA-7B --workload L1
+    python -m repro --system SP-NVLS --workload layer --training \\
+        --scale 0.125 --seed 7
+    python -m repro --list
+
+The experiment harness (``python -m repro.experiments``) regenerates the
+paper's tables/figures; this entry point is for ad-hoc single runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common.config import dgx_h100_config
+from .experiments.runner import Scale, layer_graphs, sublayer_for
+from .llm.models import TABLE_I, by_name
+from .llm.tiling import TilingConfig
+from .llm.tp import SUBLAYERS
+from .metrics.report import format_run_report
+from .systems import SYSTEM_CLASSES, make_system
+
+WORKLOADS = tuple(SUBLAYERS) + ("layer",)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument("--list", action="store_true",
+                        help="list systems and models, then exit")
+    parser.add_argument("--system", default="CAIS",
+                        choices=sorted(SYSTEM_CLASSES))
+    parser.add_argument("--model", default="LLaMA-7B",
+                        choices=sorted(TABLE_I) + ["LLaMA-full"])
+    parser.add_argument("--workload", default="L1", choices=WORKLOADS,
+                        help="one Fig. 12 sub-layer or a full layer")
+    parser.add_argument("--training", action="store_true",
+                        help="forward + backward (layer workload only)")
+    parser.add_argument("--scale", type=float, default=0.125,
+                        help="fraction of the model's tokens to simulate")
+    parser.add_argument("--gpus", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--no-gantt", action="store_true",
+                        help="omit the kernel timeline from the report")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("systems:", ", ".join(sorted(SYSTEM_CLASSES)))
+        print("models: ", ", ".join(sorted(TABLE_I) + ["LLaMA-full"]))
+        print("workloads:", ", ".join(WORKLOADS))
+        return 0
+
+    config = dgx_h100_config(num_gpus=args.gpus, seed=args.seed)
+    scale = Scale(tokens_fraction=args.scale,
+                  tiling=TilingConfig(chunk_bytes=32768,
+                                      red_chunk_bytes=8192))
+    model = scale.apply(by_name(args.model))
+    if args.workload == "layer":
+        graphs = layer_graphs(model, args.gpus, args.system, args.training)
+    else:
+        graphs = [sublayer_for(model, args.gpus, args.system,
+                               args.workload)]
+    system = make_system(args.system, config, tiling=scale.tiling)
+    result = system.run(graphs)
+    print(format_run_report(result, gantt=not args.no_gantt))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,321 @@
+"""Compiler support for CAIS (paper Section III-B-1, Fig. 8a).
+
+During CUDA-to-PTX compilation CAIS performs *static index analysis* on the
+address expressions of remote memory instructions.  If an address expression
+does not reference the GPU ID, the index is **GPU-invariant**: thread blocks
+on different GPUs with the same ``blockIdx`` will access the same memory
+location and can therefore have their requests merged in the switch.  The
+compiler
+
+1. rewrites such instructions to their CAIS variants (``ld`` -> ``ld.cais``,
+   ``red`` -> ``red.cais``),
+2. groups the corresponding TBs across GPUs into logical **TB groups** (one
+   group per ``blockIdx``), and
+3. attaches TB-group metadata to the kernel launch configuration, consumed
+   by the runtime synchronizers and the switch's Group Sync Table.
+
+The address-expression IR below is the analogue of the PTX address operands
+the real compiler would inspect: kernels in :mod:`repro.gpu.kernels` describe
+their remote accesses symbolically in terms of ``blockIdx``, ``gpuId`` and
+shape parameters, and the simulator evaluates the same expressions to
+generate concrete request addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..common.errors import WorkloadError
+
+# ---------------------------------------------------------------------------
+# Address-expression IR
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for address expressions (immutable tree)."""
+
+    def references_gpu_id(self) -> bool:
+        """True if evaluating this expression depends on the GPU ID."""
+        raise NotImplementedError
+
+    def referenced_block_dims(self) -> frozenset:
+        """Which ``blockIdx`` dimensions the expression depends on.
+
+        TBs whose referenced dimensions agree access the same data region,
+        so they belong to the same TB group (Fig. 7b) — e.g. an AG-GEMM
+        tile's input address depends only on ``blockIdx.x`` (the row), so
+        every column tile of a row joins one group.
+        """
+        return frozenset()
+
+    def evaluate(self, env: "Env") -> int:
+        """Evaluate under concrete ``blockIdx`` / ``gpuId`` / params."""
+        raise NotImplementedError
+
+    # Operator sugar so kernel authors can write ``bx * Const(128) + off``.
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", self, _wrap(other))
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", self, _wrap(other))
+
+    def __floordiv__(self, other: "ExprLike") -> "Expr":
+        return BinOp("//", self, _wrap(other))
+
+    def __mod__(self, other: "ExprLike") -> "Expr":
+        return BinOp("%", self, _wrap(other))
+
+
+ExprLike = Union[Expr, int]
+
+
+def _wrap(value: ExprLike) -> Expr:
+    return Const(value) if isinstance(value, int) else value
+
+
+@dataclass(frozen=True)
+class Env:
+    """Concrete evaluation environment for an address expression."""
+
+    block_idx: Tuple[int, ...] = (0,)
+    gpu_id: int = 0
+    params: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+    def references_gpu_id(self) -> bool:
+        return False
+
+    def evaluate(self, env: Env) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BlockIdx(Expr):
+    """The TB's block index along ``dim`` (0 = x, 1 = y, 2 = z)."""
+
+    dim: int = 0
+
+    def references_gpu_id(self) -> bool:
+        return False
+
+    def referenced_block_dims(self) -> frozenset:
+        return frozenset({self.dim})
+
+    def evaluate(self, env: Env) -> int:
+        if self.dim >= len(env.block_idx):
+            raise WorkloadError(
+                f"blockIdx.{'xyz'[self.dim]} unavailable in {env.block_idx}")
+        return env.block_idx[self.dim]
+
+    def __repr__(self) -> str:
+        return f"blockIdx.{'xyz'[self.dim]}"
+
+
+@dataclass(frozen=True)
+class GpuId(Expr):
+    """The executing GPU's rank — the thing the analysis looks for."""
+
+    def references_gpu_id(self) -> bool:
+        return True
+
+    def evaluate(self, env: Env) -> int:
+        return env.gpu_id
+
+    def __repr__(self) -> str:
+        return "gpuId"
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A kernel launch parameter (tile size, stride, shard bytes...)."""
+
+    name: str
+
+    def references_gpu_id(self) -> bool:
+        return False
+
+    def evaluate(self, env: Env) -> int:
+        if self.name not in env.params:
+            raise WorkloadError(f"unbound kernel parameter {self.name!r}")
+        return env.params[self.name]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    _FUNCS = {"+": lambda a, b: a + b, "*": lambda a, b: a * b,
+              "//": lambda a, b: a // b, "%": lambda a, b: a % b}
+
+    def __post_init__(self) -> None:
+        if self.op not in self._FUNCS:
+            raise WorkloadError(f"unsupported operator {self.op!r}")
+
+    def references_gpu_id(self) -> bool:
+        return self.lhs.references_gpu_id() or self.rhs.references_gpu_id()
+
+    def referenced_block_dims(self) -> frozenset:
+        return (self.lhs.referenced_block_dims() |
+                self.rhs.referenced_block_dims())
+
+    def evaluate(self, env: Env) -> int:
+        return self._FUNCS[self.op](self.lhs.evaluate(env),
+                                    self.rhs.evaluate(env))
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+# ---------------------------------------------------------------------------
+# Memory instructions and kernel IR
+# ---------------------------------------------------------------------------
+
+
+class MemOpKind(enum.Enum):
+    """Remote memory instruction kinds subject to rewriting (Fig. 4)."""
+
+    LOAD = "ld"
+    REDUCE = "red"
+    LOAD_CAIS = "ld.cais"
+    REDUCE_CAIS = "red.cais"
+
+    @property
+    def is_cais(self) -> bool:
+        return self in (MemOpKind.LOAD_CAIS, MemOpKind.REDUCE_CAIS)
+
+    def to_cais(self) -> "MemOpKind":
+        if self is MemOpKind.LOAD:
+            return MemOpKind.LOAD_CAIS
+        if self is MemOpKind.REDUCE:
+            return MemOpKind.REDUCE_CAIS
+        return self
+
+
+@dataclass(frozen=True)
+class MemInstr:
+    """One remote memory instruction of a kernel.
+
+    ``home_expr`` gives the owning GPU of the accessed chunk and
+    ``offset_expr`` its byte offset in that GPU's memory; ``chunk_bytes``
+    is the transfer granularity.
+    """
+
+    kind: MemOpKind
+    home_expr: Expr
+    offset_expr: Expr
+    chunk_bytes: int
+
+    def references_gpu_id(self) -> bool:
+        return (self.home_expr.references_gpu_id() or
+                self.offset_expr.references_gpu_id())
+
+    def referenced_block_dims(self) -> frozenset:
+        return (self.home_expr.referenced_block_dims() |
+                self.offset_expr.referenced_block_dims())
+
+
+@dataclass(frozen=True)
+class KernelIR:
+    """Pre-compilation kernel description: grid shape + memory instructions."""
+
+    name: str
+    grid: Tuple[int, ...]
+    mem_instrs: Tuple[MemInstr, ...]
+
+    def num_blocks(self) -> int:
+        n = 1
+        for d in self.grid:
+            n *= d
+        return n
+
+
+@dataclass(frozen=True)
+class TBGroup:
+    """All TBs across GPUs accessing one data region (Fig. 7b).
+
+    ``region`` is the tuple of values of the blockIdx dimensions the
+    kernel's mergeable address expressions reference; TBs agreeing on those
+    values touch the same chunks and must align their requests.
+    """
+
+    group_id: int
+    kernel_name: str
+    region: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """JIT output: rewritten instructions plus TB-group launch metadata."""
+
+    ir: KernelIR
+    mergeable: Tuple[MemInstr, ...]      # rewritten to .cais variants
+    non_mergeable: Tuple[MemInstr, ...]  # left untouched
+    groups: Tuple[TBGroup, ...]          # one per blockIdx, () if none
+    group_by_block: Dict[Tuple[int, ...], TBGroup]
+
+    @property
+    def uses_cais(self) -> bool:
+        return bool(self.mergeable)
+
+
+_group_ids = itertools.count(1)
+
+
+def reset_group_ids() -> None:
+    """Restart group-id allocation (tests and fresh simulations)."""
+    global _group_ids
+    _group_ids = itertools.count(1)
+
+
+def _block_indices(grid: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    if not grid or any(d <= 0 for d in grid):
+        raise WorkloadError(f"invalid grid {grid}")
+    indices: List[Tuple[int, ...]] = [()]
+    for dim in grid:
+        indices = [idx + (i,) for idx in indices for i in range(dim)]
+    return indices
+
+
+def compile_kernel(ir: KernelIR) -> CompiledKernel:
+    """Run the CAIS static index analysis and TB grouping on one kernel.
+
+    An instruction is *mergeable* when its address expression is
+    GPU-invariant — it does not reference ``gpuId`` — because TBs with equal
+    ``blockIdx`` on different GPUs then target identical chunks.
+    """
+    mergeable = tuple(replace(i, kind=i.kind.to_cais())
+                      for i in ir.mem_instrs if not i.references_gpu_id())
+    non_mergeable = tuple(i for i in ir.mem_instrs if i.references_gpu_id())
+    group_by_block: Dict[Tuple[int, ...], TBGroup] = {}
+    groups: Tuple[TBGroup, ...] = ()
+    if mergeable:
+        dims = sorted(set().union(*(i.referenced_block_dims()
+                                    for i in mergeable)))
+        by_region: Dict[Tuple[int, ...], TBGroup] = {}
+        for idx in _block_indices(ir.grid):
+            region = tuple(idx[d] for d in dims)
+            group = by_region.get(region)
+            if group is None:
+                group = TBGroup(next(_group_ids), ir.name, region)
+                by_region[region] = group
+            group_by_block[idx] = group
+        groups = tuple(by_region.values())
+    return CompiledKernel(
+        ir=ir, mergeable=mergeable, non_mergeable=non_mergeable,
+        groups=groups, group_by_block=group_by_block)

@@ -1,0 +1,52 @@
+"""The compute-aware ISA extension surface (paper Section III-A-1, Fig. 4).
+
+CAIS extends PTX with two instructions:
+
+* ``ld.cais``  — a load whose request carries the 1-bit CAIS flag, telling
+  the switch it is eligible for in-switch *load request merging*;
+* ``red.cais`` — a remote reduction carrying the same flag, eligible for
+  in-switch *reduction request merging*.
+
+In this reproduction the flag is the message-level distinction between the
+``LD_CAIS_*``/``RED_CAIS`` operations and their plain counterparts; this
+module gathers that surface in one place and provides the encoding/decoding
+helpers an assembler-level view would use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..interconnect.message import Message, Op
+from .compiler import MemOpKind
+
+#: Fig. 4: the CAIS variants add a single flag bit to the access encoding.
+CAIS_FLAG_BITS = 1
+
+#: Mapping from the compiler's (rewritten) memory-instruction kinds to the
+#: fabric operation their requests travel as.
+REQUEST_OP: Dict[MemOpKind, Op] = {
+    MemOpKind.LOAD: Op.LOAD_REQ,
+    MemOpKind.LOAD_CAIS: Op.LD_CAIS_REQ,
+    MemOpKind.REDUCE: Op.STORE,
+    MemOpKind.REDUCE_CAIS: Op.RED_CAIS,
+}
+
+#: Operations whose requests carry the CAIS flag.
+CAIS_OPS = frozenset({Op.LD_CAIS_REQ, Op.LD_CAIS_RESP, Op.RED_CAIS,
+                      Op.RED_CAIS_ACK})
+
+
+def is_cais_request(msg: Message) -> bool:
+    """True when the message carries the CAIS flag (is merge-eligible)."""
+    return msg.op in CAIS_OPS
+
+
+def mnemonic(kind: MemOpKind) -> str:
+    """PTX-style mnemonic for a memory-instruction kind (Fig. 4 syntax)."""
+    return {
+        MemOpKind.LOAD: "ld.global",
+        MemOpKind.LOAD_CAIS: "ld.global.cais",
+        MemOpKind.REDUCE: "red.global",
+        MemOpKind.REDUCE_CAIS: "red.global.cais",
+    }[kind]

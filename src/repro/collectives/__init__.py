@@ -1,0 +1,21 @@
+"""Collective communication: ring (GPU-driven), NVLS, analytic references."""
+
+from .nvls_collectives import NvlsCollective
+from .reference import (
+    nvls_allreduce_busbw_gbps,
+    nvls_allreduce_time_ns,
+    ring_all_gather_time_ns,
+    ring_allreduce_time_ns,
+    ring_reduce_scatter_time_ns,
+)
+from .ring import RingCollective
+
+__all__ = [
+    "NvlsCollective",
+    "RingCollective",
+    "nvls_allreduce_busbw_gbps",
+    "nvls_allreduce_time_ns",
+    "ring_all_gather_time_ns",
+    "ring_allreduce_time_ns",
+    "ring_reduce_scatter_time_ns",
+]

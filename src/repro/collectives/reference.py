@@ -1,0 +1,79 @@
+"""Analytic collective cost models (alpha-beta style).
+
+Two uses:
+
+* the **Fig. 18 validation reference**: the paper measures NCCL AllReduce on
+  a real DGX-H100 with NVLS; without hardware we substitute a first-
+  principles alpha-beta model of the same operation (see DESIGN.md) and
+  report simulator-vs-model error across 1-16 GB messages exactly as the
+  paper reports simulator-vs-hardware error; and
+* quick sanity bounds in tests (a simulated collective should land within a
+  constant factor of its analytic time).
+"""
+
+from __future__ import annotations
+
+from ..common.config import SystemConfig
+from ..common.errors import WorkloadError
+
+
+def _check(nbytes: int, k: int) -> None:
+    if nbytes <= 0:
+        raise WorkloadError(f"collective size must be positive: {nbytes}")
+    if k < 2:
+        raise WorkloadError(f"need at least 2 ranks, got {k}")
+
+
+def wire_efficiency(config: SystemConfig) -> float:
+    """Payload fraction of the wire: one flit header per coalesced packet."""
+    packet = config.link.max_packet_bytes
+    return packet / (packet + config.link.flit_bytes)
+
+
+def ring_allreduce_time_ns(nbytes: int, config: SystemConfig) -> float:
+    """Bandwidth-optimal ring AllReduce: 2(K-1)/K of the tensor per link."""
+    k = config.num_gpus
+    _check(nbytes, k)
+    bw = config.per_gpu_bandwidth_gbps()
+    hop = config.link.latency_ns * 2 + config.switch.hop_latency_ns
+    return 2 * (k - 1) / k * nbytes / bw + 2 * (k - 1) * hop
+
+
+def ring_reduce_scatter_time_ns(nbytes: int, config: SystemConfig) -> float:
+    """Ring ReduceScatter: (K-1)/K of the tensor per link."""
+    k = config.num_gpus
+    _check(nbytes, k)
+    bw = config.per_gpu_bandwidth_gbps()
+    hop = config.link.latency_ns * 2 + config.switch.hop_latency_ns
+    return (k - 1) / k * nbytes / bw + (k - 1) * hop
+
+
+def ring_all_gather_time_ns(nbytes: int, config: SystemConfig) -> float:
+    """Ring AllGather: same volume profile as ReduceScatter."""
+    return ring_reduce_scatter_time_ns(nbytes, config)
+
+
+def nvls_allreduce_time_ns(nbytes: int, config: SystemConfig) -> float:
+    """One-shot NVLS AllReduce (the Fig. 18 hardware stand-in).
+
+    Each GPU streams its full copy up into the switch fabric once (the
+    switch reduces in-flight) and receives the full result once: N bytes
+    per direction per GPU, plus one gather round trip and the in-switch
+    reduction latency.  This is the single-pass traffic profile that gives
+    NVLS its ~2x bandwidth advantage over rings on large messages.
+    """
+    k = config.num_gpus
+    _check(nbytes, k)
+    bw = config.per_gpu_bandwidth_gbps() * wire_efficiency(config)
+    rtt = 2 * config.link.latency_ns + config.switch.hop_latency_ns
+    reduce_ns = nbytes / (config.switch.reduce_flops_per_ns *
+                          config.num_switches)
+    pipeline = max(nbytes / bw, reduce_ns)
+    return pipeline + 2 * rtt
+
+
+def nvls_allreduce_busbw_gbps(nbytes: int, config: SystemConfig) -> float:
+    """NCCL-convention bus bandwidth for the NVLS AllReduce reference."""
+    k = config.num_gpus
+    algo_bw = nbytes / nvls_allreduce_time_ns(nbytes, config)
+    return algo_bw * 2 * (k - 1) / k

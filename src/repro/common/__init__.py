@@ -1,0 +1,42 @@
+"""Shared substrate: discrete-event engine, units, hardware configs, RNG."""
+
+from .config import (
+    GpuSpec,
+    JitterSpec,
+    LinkSpec,
+    SwitchSpec,
+    SystemConfig,
+    dgx_h100_config,
+    full_scale_config,
+)
+from .errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    WorkloadError,
+)
+from .events import Event, Simulator
+from .rng import RngPool
+
+__all__ = [
+    "ConfigError",
+    "DeadlockError",
+    "Event",
+    "GpuSpec",
+    "JitterSpec",
+    "LinkSpec",
+    "ProtocolError",
+    "ReproError",
+    "RngPool",
+    "RoutingError",
+    "SimulationError",
+    "Simulator",
+    "SwitchSpec",
+    "SystemConfig",
+    "WorkloadError",
+    "dgx_h100_config",
+    "full_scale_config",
+]

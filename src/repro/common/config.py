@@ -1,0 +1,158 @@
+"""Hardware configuration for the simulated multi-GPU system.
+
+Defaults replicate the paper's experimental setup (Section IV-A): an
+NVIDIA DGX-H100-like node with 8 GPUs interconnected through 4 NVSwitch
+planes, 250 ns link latency each way (~1 us round trip), a 40 KB / 320-entry
+per-port Merge Table, and eight 256-deep virtual channels per input port.
+
+Per Section IV-B the paper runs a *half-scale* configuration (50% of the SMs
+with matrix dimensions halved); :func:`dgx_h100_config` follows suit by
+default and :func:`full_scale_config` restores the full machine for the
+Table II validation experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Compute-side parameters of one GPU (H100-like).
+
+    ``tensor_flops_per_sm_cycle`` is the dense tensor-core throughput per SM
+    per cycle; ``gemm_efficiency`` derates it to a sustained CUTLASS-like
+    level.  ``tb_slots_per_sm`` is the thread-block occupancy used by the
+    TB-granular execution model.
+    """
+
+    num_sms: int = 66                    # half-scale H100 (132 full)
+    clock_ghz: float = 1.8
+    tensor_flops_per_sm_cycle: float = 2048.0   # dense BF16 (no sparsity)
+    gemm_efficiency: float = 0.4
+    vector_flops_per_sm_cycle: float = 256.0
+    tb_slots_per_sm: int = 2
+    hbm_bandwidth_gbps: float = 3350.0   # bytes/ns
+    hbm_latency_ns: float = 450.0
+    kernel_launch_overhead_ns: float = 2000.0
+
+    def sustained_tensor_flops_per_ns(self) -> float:
+        """Whole-GPU sustained tensor throughput in flops per nanosecond."""
+        return (self.num_sms * self.tensor_flops_per_sm_cycle *
+                self.gemm_efficiency * self.clock_ghz)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One GPU<->switch NVLink connection (per direction).
+
+    A DGX-H100 GPU has 900 GB/s of aggregate bidirectional NVLink bandwidth
+    striped over 4 switch planes.  The default here is the *effective
+    sustained* data bandwidth calibrated so that, at TP=8 on LLaMA-7B,
+    communication time is comparable to computation time — the regime the
+    paper establishes in Fig. 2 (comm overtakes compute beyond 4-8 GPUs;
+    40-60% of end-to-end latency, Section II).  The spec sheet's raw
+    112.5 GB/s per plane per direction, combined with the paper's own GPU
+    model, would make the workload compute-bound and suppress every effect
+    the paper studies; see DESIGN.md ("calibration").
+    """
+
+    bandwidth_gbps: float = 16.0         # bytes/ns, one direction, per plane
+    latency_ns: float = 250.0            # propagation, one way (paper IV-A)
+    flit_bytes: int = 16
+    max_packet_bytes: int = 128          # intra-SM coalescing target
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """NVSwitch parameters, including the CAIS merge-unit provisioning."""
+
+    hop_latency_ns: float = 100.0        # internal forwarding latency
+    num_vcs: int = 8
+    vc_depth: int = 256
+    merge_table_entries: int = 320       # 40 KB / 128 B per entry (paper IV-A)
+    merge_entry_bytes: int = 128
+    merge_timeout_ns: float = 50_000.0   # forward-progress timeout
+    reduce_flops_per_ns: float = 1.0e3   # in-switch ALU throughput (amortized)
+
+    def merge_table_bytes(self) -> int:
+        """Merge table capacity per port, in bytes."""
+        return self.merge_table_entries * self.merge_entry_bytes
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Execution-variability model (paper Section III-B motivation, [18]).
+
+    ``tb_jitter`` is a multiplicative per-TB compute-time perturbation.
+    ``gpu_skew_ns`` is a per-GPU constant start-time offset drawn uniformly
+    in ``[0, gpu_skew_ns]``.  ``dispatch_shuffle_window`` locally permutes
+    the TB dispatch order per GPU, modelling independent hardware TB
+    schedulers — the dominant source of the ~35 us uncoordinated request
+    spread the paper reports.
+    """
+
+    tb_jitter: float = 0.08
+    gpu_skew_ns: float = 2_000.0
+    dispatch_shuffle_window: int = 48
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete description of the simulated node.
+
+    The topology is ``num_gpus`` GPUs, each connected to every one of the
+    ``num_switches`` switch planes by one bidirectional link.
+    """
+
+    num_gpus: int = 8
+    num_switches: int = 4
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    link: LinkSpec = field(default_factory=LinkSpec)
+    switch: SwitchSpec = field(default_factory=SwitchSpec)
+    jitter: JitterSpec = field(default_factory=JitterSpec)
+    seed: int = 2026
+    sync_rtt_ns: float = 500.0           # TB-group sync empty-packet RTT
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 2:
+            raise ConfigError(f"need at least 2 GPUs, got {self.num_gpus}")
+        if self.num_switches < 1:
+            raise ConfigError(
+                f"need at least 1 switch, got {self.num_switches}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def per_gpu_bandwidth_gbps(self) -> float:
+        """Aggregate one-direction NVLink bandwidth per GPU (all planes)."""
+        return self.link.bandwidth_gbps * self.num_switches
+
+    def with_gpus(self, num_gpus: int) -> "SystemConfig":
+        """A copy of this config scaled to ``num_gpus`` GPUs."""
+        return replace(self, num_gpus=num_gpus)
+
+    def with_merge_entries(self, entries: int) -> "SystemConfig":
+        """A copy with a different per-port merge-table capacity."""
+        return replace(self, switch=replace(self.switch,
+                                            merge_table_entries=entries))
+
+    def with_seed(self, seed: int) -> "SystemConfig":
+        """A copy with a different master RNG seed."""
+        return replace(self, seed=seed)
+
+
+def dgx_h100_config(num_gpus: int = 8, seed: int = 2026) -> SystemConfig:
+    """The paper's default half-scale DGX-H100 configuration."""
+    return SystemConfig(num_gpus=num_gpus, seed=seed)
+
+
+def full_scale_config(num_gpus: int = 8, seed: int = 2026) -> SystemConfig:
+    """Full-scale H100 (132 SMs), used by the Table II validation."""
+    return SystemConfig(
+        num_gpus=num_gpus,
+        gpu=GpuSpec(num_sms=132),
+        seed=seed,
+    )

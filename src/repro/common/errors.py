@@ -1,0 +1,35 @@
+"""Exception hierarchy shared by all repro subsystems.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """A hardware or workload configuration is invalid."""
+
+
+class RoutingError(ReproError):
+    """A message could not be routed to its destination."""
+
+
+class ProtocolError(ReproError):
+    """A switch/GPU protocol invariant was violated (e.g. duplicate session)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while entities still had outstanding work."""
+
+
+class WorkloadError(ReproError):
+    """An operator graph or tiling request is malformed."""

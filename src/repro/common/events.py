@@ -1,0 +1,166 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate every hardware model in this repository runs on:
+GPUs, links, switches, NVLS engines and the CAIS merge unit all schedule
+callbacks on one shared :class:`Simulator`.
+
+Design notes
+------------
+* Time is a float in nanoseconds (see :mod:`repro.common.units`).
+* Events at equal timestamps fire in scheduling order (a monotonically
+  increasing sequence number breaks ties), which makes runs fully
+  deterministic for a fixed seed.
+* Events are cancellable: :meth:`Event.cancel` marks the event dead and the
+  main loop skips it.  This supports timeout timers (CAIS merge-entry
+  timeouts) that are usually disarmed before they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from .errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only ever
+    cancels them or inspects :attr:`time`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.1f}ns, {name}, {state})"
+
+
+class Simulator:
+    """Priority-queue discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(10.0, fired.append, "a")
+    >>> _ = sim.schedule(5.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event {delay} ns in the past "
+                f"(now={self._now})")
+        ev = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time`` ns."""
+        return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:
+                raise SimulationError(
+                    f"event queue time went backwards: {ev.time} < {self._now}")
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` ns is reached, or
+        ``max_events`` events have fired.
+
+        ``until`` is an absolute simulation time; when the next event lies
+        beyond it the clock is advanced to ``until`` and the loop stops with
+        the event still queued.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    return
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    return
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def drain_cancelled(self) -> None:
+        """Compact the queue by dropping cancelled events (heap rebuild)."""
+        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        heapq.heapify(self._queue)

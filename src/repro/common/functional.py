@@ -1,0 +1,20 @@
+"""Functional-payload helpers.
+
+Timing-mode simulations carry ``payload=None``; correctness tests attach real
+values (floats or numpy arrays) so in-switch reductions can be verified
+numerically.  ``combine_payloads`` is the single reduction operator used by
+the NVLS engine, the CAIS merge unit, and GPU-side accumulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def combine_payloads(acc: Any, value: Any) -> Any:
+    """Sum two optional payloads; ``None`` acts as the identity."""
+    if acc is None:
+        return value
+    if value is None:
+        return acc
+    return acc + value

@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments fig2            # one experiment
+    python -m repro.experiments fig11 --quick   # smaller workload scale
+    python -m repro.experiments all --out EXPERIMENTS.generated.md
+
+``--quick`` runs at 1/8 of the models' token count, the default at 1/4,
+``--full`` unscaled (hours in pure Python; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    fig02_scaling,
+    sensitivity,
+    fig11_end_to_end,
+    fig12_sublayer,
+    fig13_merge_table,
+    fig14_table_sweep,
+    fig15_bandwidth,
+    fig16_utilization_trace,
+    fig17_scalability,
+    fig18_nvls_validation,
+    table2_scaling_validation,
+)
+from ..hw.area import overhead_report
+from .runner import DEFAULT, FULL, QUICK, Scale
+
+
+def _fig2(scale: Scale) -> str:
+    return fig02_scaling.format_table(fig02_scaling.run(scale))
+
+
+def _fig11(scale: Scale) -> str:
+    return fig11_end_to_end.format_table(fig11_end_to_end.run(scale))
+
+
+def _fig12(scale: Scale) -> str:
+    return fig12_sublayer.format_table(fig12_sublayer.run(scale))
+
+
+def _fig13(scale: Scale) -> str:
+    return fig13_merge_table.format_table(
+        fig13_merge_table.run_table_size(scale),
+        fig13_merge_table.run_wait_ablation(scale))
+
+
+def _fig14(scale: Scale) -> str:
+    return fig14_table_sweep.format_table(fig14_table_sweep.run(scale))
+
+
+def _fig15(scale: Scale) -> str:
+    return fig15_bandwidth.format_table(fig15_bandwidth.run(scale))
+
+
+def _fig16(scale: Scale) -> str:
+    return fig16_utilization_trace.format_table(
+        fig16_utilization_trace.run(scale))
+
+
+def _fig17(scale: Scale) -> str:
+    return fig17_scalability.format_table(fig17_scalability.run(scale))
+
+
+def _fig18(scale: Scale) -> str:
+    return fig18_nvls_validation.format_table(fig18_nvls_validation.run())
+
+
+def _sensitivity(scale: Scale) -> str:
+    return sensitivity.format_tables(sensitivity.bandwidth_sweep(scale),
+                                     sensitivity.seed_sweep(scale))
+
+
+def _table2(scale: Scale) -> str:
+    return table2_scaling_validation.format_table(
+        table2_scaling_validation.run(scale))
+
+
+def _hw(scale: Scale) -> str:
+    return "### Section V-D: hardware overhead\n```\n" + \
+        overhead_report() + "\n```"
+
+
+EXPERIMENTS = {
+    "fig2": _fig2,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "fig18": _fig18,
+    "sensitivity": _sensitivity,
+    "table2": _table2,
+    "hw": _hw,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--quick", action="store_true",
+                       help="1/8-token workloads (fastest)")
+    group.add_argument("--full", action="store_true",
+                       help="unscaled Table-I workloads (slow)")
+    parser.add_argument("--out", default=None,
+                        help="also append the output to this file")
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.quick else (FULL if args.full else DEFAULT)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    blocks = []
+    for name in names:
+        start = time.time()
+        text = EXPERIMENTS[name](scale)
+        elapsed = time.time() - start
+        block = f"{text}\n\n_(regenerated in {elapsed:.1f}s at scale " \
+                f"{scale.tokens_fraction})_"
+        print(block)
+        print()
+        blocks.append(block)
+    if args.out:
+        with open(args.out, "a") as fh:
+            fh.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Fig. 16 — bandwidth utilization over time (L2 of LLaMA-7B).
+
+A windowed utilization time series of the fabric for CAIS-Base,
+CAIS-Partial and full CAIS.  The paper's qualitative claims: full CAIS
+sustains near-peak utilization in steady state, CAIS-Partial dips under
+contention (no traffic control), and CAIS-Base alternates between
+saturated and idle phases (global barriers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.config import dgx_h100_config
+from ..llm.models import TABLE_I
+from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
+
+CONFIGS = ("CAIS-Base", "CAIS-Partial", "CAIS")
+
+
+def run(scale: Scale = DEFAULT, model_name: str = "LLaMA-7B",
+        which: str = "L2", windows: int = 24,
+        ) -> Dict[str, List[Tuple[float, float]]]:
+    """Returns {config: [(window_center_us, avg_utilization)]}."""
+    cfg = dgx_h100_config()
+    model = scale.apply(TABLE_I[model_name])
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for system in CONFIGS:
+        graph = sublayer_for(model, cfg.num_gpus, system, which)
+        res = run_system(system, [graph], cfg, scale)
+        t1 = res.makespan_ns
+        window = t1 / windows
+        links = res.network.all_links()
+        series = []
+        t = 0.0
+        while t < t1 - 1e-9:
+            hi = min(t + window, t1)
+            util = sum(l.tracker.utilization(t, hi) for l in links) / \
+                len(links)
+            series.append(((t + hi) / 2 / 1e3, util))
+            t += window
+        out[system] = series
+    return out
+
+
+def steady_state_stats(series: List[Tuple[float, float]]) -> Dict[str, float]:
+    """Mean and dip depth over the middle half of the run."""
+    n = len(series)
+    mid = [u for _, u in series[n // 4: 3 * n // 4]]
+    return {"mean": sum(mid) / len(mid), "min": min(mid), "max": max(mid)}
+
+
+def format_table(results: Dict[str, List[Tuple[float, float]]]) -> str:
+    rows = []
+    for system, series in results.items():
+        stats = steady_state_stats(series)
+        spark = " ".join(f"{u:.2f}" for _, u in series)
+        rows.append([system, stats["mean"], stats["min"], stats["max"]])
+    table = markdown_table(
+        ["config", "steady-state mean", "min", "max"], rows)
+    traces = "\n".join(
+        f"- {system}: " + " ".join(f"{u:.2f}" for _, u in series)
+        for system, series in results.items())
+    return ("### Fig. 16: utilization over time (L2, windowed)\n" + table +
+            "\n\nTraces (per-window utilization):\n" + traces)
+
+
+if __name__ == "__main__":   # pragma: no cover - manual entry point
+    print(format_table(run()))

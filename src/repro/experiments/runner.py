@@ -1,0 +1,120 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment reproduces one table or figure of the paper's evaluation
+(Section V).  Experiments run at a configurable *scale* — the fraction of
+the models' token count that is simulated — because the TB-granular
+simulation of a full Table-I workload on every system would take hours in
+pure Python.  Scaling tokens preserves each operator's
+computation-to-communication ratio (both are linear in tokens), so speedup
+shapes are stable across scales; ``--full`` runs the unscaled workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..common.config import SystemConfig, dgx_h100_config
+from ..llm.graph import Graph
+from ..llm.models import ModelConfig
+from ..llm.tiling import TilingConfig
+from ..llm.tp import (
+    basic_backward_layer,
+    basic_forward_layer,
+    sp_backward_layer,
+    sp_forward_layer,
+    sublayer_graph,
+)
+from ..systems import SYSTEM_CLASSES, RunResult, make_system
+
+#: Systems that execute the Basic-TP (AllReduce) lowering of a workload.
+BASIC_STYLE_SYSTEMS = frozenset({
+    "TP-NVLS", "CoCoNet", "FuseLib", "CoCoNet-NVLS", "FuseLib-NVLS", "LADM"})
+
+#: The paper's Fig. 11/12 baseline ordering.
+BASELINES = ("TP-NVLS", "SP-NVLS", "CoCoNet", "FuseLib", "T3",
+             "CoCoNet-NVLS", "FuseLib-NVLS", "T3-NVLS", "LADM")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Simulation-budget knobs for one experiment run."""
+
+    tokens_fraction: float = 0.25
+    tiling: TilingConfig = field(default_factory=lambda: TilingConfig(
+        chunk_bytes=32768, red_chunk_bytes=8192))
+    coll_chunk_bytes: int = 262144
+
+    def apply(self, model: ModelConfig) -> ModelConfig:
+        if self.tokens_fraction >= 1.0:
+            return model
+        return model.scaled(self.tokens_fraction)
+
+
+QUICK = Scale(tokens_fraction=0.125)
+DEFAULT = Scale(tokens_fraction=0.25)
+FULL = Scale(tokens_fraction=1.0)
+
+
+def style_for(system: str) -> str:
+    return "basic" if system in BASIC_STYLE_SYSTEMS else "sp"
+
+
+def layer_graphs(model: ModelConfig, tp: int, system: str,
+                 training: bool) -> List[Graph]:
+    """The per-layer graph sequence a system runs for this workload."""
+    if style_for(system) == "basic":
+        graphs = [basic_forward_layer(model, tp)]
+        if training:
+            graphs.append(basic_backward_layer(model, tp))
+    else:
+        graphs = [sp_forward_layer(model, tp)]
+        if training:
+            graphs.append(sp_backward_layer(model, tp))
+    return graphs
+
+
+def sublayer_for(model: ModelConfig, tp: int, system: str,
+                 which: str) -> Graph:
+    return sublayer_graph(model, tp, which, style=style_for(system))
+
+
+def run_system(system: str, graphs: Sequence[Graph],
+               config: Optional[SystemConfig] = None,
+               scale: Scale = DEFAULT, **system_kwargs) -> RunResult:
+    """Run one system on a graph sequence under the scale's tiling."""
+    config = config or dgx_h100_config()
+    instance = make_system(system, config, tiling=scale.tiling,
+                           chunk_bytes=scale.coll_chunk_bytes,
+                           **system_kwargs)
+    return instance.run(list(graphs))
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups_over(results: Dict[str, RunResult],
+                  reference: str = "CAIS") -> Dict[str, float]:
+    """makespan(system) / makespan(reference) for every system."""
+    ref = results[reference].makespan_ns
+    return {name: res.makespan_ns / ref for name, res in results.items()}
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[object]]) -> str:
+    """Small GitHub-markdown table formatter."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Sensitivity studies beyond the paper's figures.
+
+Two sweeps a careful reviewer would ask for:
+
+* **Fabric bandwidth** — CAIS's edge over the NVLS barrier baseline as the
+  calibrated link bandwidth varies 4x in each direction: the speedup should
+  grow as the workload becomes more communication-bound and shrink (toward,
+  but not below, 1x) as compute dominates — evidence that the headline
+  numbers are a property of the regime, not of one calibration point.
+* **Seed robustness** — the same comparison across RNG seeds (scheduler
+  drift, jitter and skew all re-drawn): the speedup's spread should be a
+  few percent, far smaller than the effect.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from ..common.config import dgx_h100_config
+from ..llm.models import LLAMA_7B
+from ..llm.tp import sublayer_graph
+from .runner import DEFAULT, Scale, markdown_table, run_system
+
+BANDWIDTHS = (8.0, 16.0, 32.0, 64.0)
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def bandwidth_sweep(scale: Scale = DEFAULT,
+                    bandwidths: Sequence[float] = BANDWIDTHS,
+                    ) -> Dict[float, Dict[str, float]]:
+    """CAIS vs SP-NVLS across per-plane link bandwidths (bytes/ns)."""
+    out: Dict[float, Dict[str, float]] = {}
+    model = scale.apply(LLAMA_7B)
+    for bw in bandwidths:
+        cfg = dgx_h100_config()
+        cfg = replace(cfg, link=replace(cfg.link, bandwidth_gbps=bw))
+        times = {}
+        for system in ("CAIS", "SP-NVLS"):
+            graph = sublayer_graph(model, cfg.num_gpus, "L1")
+            times[system] = run_system(system, [graph], cfg,
+                                       scale).makespan_ns
+        out[bw] = {
+            "cais_us": times["CAIS"] / 1e3,
+            "baseline_us": times["SP-NVLS"] / 1e3,
+            "speedup": times["SP-NVLS"] / times["CAIS"],
+        }
+    return out
+
+
+def seed_sweep(scale: Scale = DEFAULT,
+               seeds: Sequence[int] = SEEDS) -> Dict[str, float]:
+    """Speedup statistics across master seeds."""
+    model = scale.apply(LLAMA_7B)
+    speedups: List[float] = []
+    for seed in seeds:
+        cfg = dgx_h100_config(seed=seed)
+        times = {}
+        for system in ("CAIS", "SP-NVLS"):
+            graph = sublayer_graph(model, cfg.num_gpus, "L1")
+            times[system] = run_system(system, [graph], cfg,
+                                       scale).makespan_ns
+        speedups.append(times["SP-NVLS"] / times["CAIS"])
+    return {
+        "mean": statistics.mean(speedups),
+        "stdev": statistics.stdev(speedups) if len(speedups) > 1 else 0.0,
+        "min": min(speedups),
+        "max": max(speedups),
+        "n": len(speedups),
+    }
+
+
+def format_tables(bw: Dict[float, Dict[str, float]],
+                  seeds: Dict[str, float]) -> str:
+    rows = [[f"{b:.0f} GB/s/plane", r["cais_us"], r["baseline_us"],
+             r["speedup"]] for b, r in sorted(bw.items())]
+    part_a = ("### Sensitivity: CAIS speedup over SP-NVLS vs fabric "
+              "bandwidth\n" +
+              markdown_table(["link bandwidth", "CAIS (us)",
+                              "SP-NVLS (us)", "speedup"], rows))
+    part_b = ("### Sensitivity: speedup across RNG seeds\n" +
+              markdown_table(["mean", "stdev", "min", "max", "seeds"],
+                             [[seeds["mean"], seeds["stdev"], seeds["min"],
+                               seeds["max"], seeds["n"]]]))
+    return part_a + "\n\n" + part_b
+
+
+if __name__ == "__main__":   # pragma: no cover - manual entry point
+    print(format_tables(bandwidth_sweep(), seed_sweep()))

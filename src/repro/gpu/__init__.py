@@ -1,0 +1,30 @@
+"""TB-granular GPU model: SMs, thread blocks, kernels, executor."""
+
+from .executor import Executor
+from .gpu import DEFAULT_POOL, Gpu
+from .kernels import KernelInstance, block_indices, total_tb_time_ns
+from .memory import MemoryController
+from .remote_ops import RemoteOp, RemoteOpKind, Transport
+from .scheduler import DispatchPolicy, FifoPolicy, KeyedPolicy, ShuffledPolicy
+from .synchronizer import Synchronizer
+from .threadblock import TBState, ThreadBlock
+
+__all__ = [
+    "DEFAULT_POOL",
+    "DispatchPolicy",
+    "Executor",
+    "FifoPolicy",
+    "Gpu",
+    "KernelInstance",
+    "KeyedPolicy",
+    "MemoryController",
+    "RemoteOp",
+    "RemoteOpKind",
+    "ShuffledPolicy",
+    "Synchronizer",
+    "TBState",
+    "ThreadBlock",
+    "Transport",
+    "block_indices",
+    "total_tb_time_ns",
+]

@@ -1,0 +1,298 @@
+"""Multi-GPU TB-granular execution engine.
+
+The executor owns the GPUs, drives every thread block through its lifecycle,
+and provides the *token* dependency fabric that systems use to wire
+producer-consumer relationships at any granularity (whole kernels for the
+barrier baselines, single tiles for CAIS's graph-level dataflow optimizer).
+
+TB lifecycle::
+
+    deps satisfied -> READY (queued on the GPU)
+      -> slot granted
+      -> [pre-launch TB-group sync]        (CAIS coordination)
+      -> pre compute                        tb_pre_ns * jitter
+      -> [pre-access TB-group sync]         (CAIS coordination)
+      -> issue reductions / wait for loads  (remote phase)
+      -> post compute                       tb_post_ns * jitter
+      -> DONE: slot freed, completion callbacks fire
+
+Execution variability (paper Section III-B): per-TB multiplicative jitter,
+a per-kernel-launch per-GPU skew, and per-GPU shuffled dispatch order — all
+drawn from named, seeded RNG streams so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..common.config import SystemConfig
+from ..common.errors import DeadlockError
+from ..common.events import Simulator
+from ..common.rng import RngPool
+from ..cais.coordination import SyncPhase
+from ..interconnect.message import Message, Op, gpu_node
+from ..interconnect.network import Network
+from .gpu import Gpu
+from .kernels import KernelInstance, block_indices
+from .remote_ops import RemoteOp, RemoteOpKind, Transport
+from .scheduler import FairSharePolicy, FifoPolicy, ShuffledPolicy
+from .threadblock import ThreadBlock, TBState
+
+Token = Hashable
+
+
+class Executor:
+    """Runs kernels across all GPUs of one simulated node."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig,
+                 network: Network, local_value_fn=None,
+                 throttle_window: Optional[int] = None,
+                 jitter_enabled: bool = True,
+                 fair_share: bool = False,
+                 reduce_queue_limit: Optional[int] = None):
+        self.sim = sim
+        self.config = config
+        self.network = network
+        self.rng = RngPool(config.seed)
+        self._jitter_enabled = jitter_enabled
+        window = config.jitter.dispatch_shuffle_window if jitter_enabled else 1
+        self.gpus: List[Gpu] = []
+        for g in range(config.num_gpus):
+            policy = (ShuffledPolicy(window, self.rng.stream(f"dispatch-{g}"))
+                      if window > 1 else FifoPolicy())
+            gpu = Gpu(sim, g, config.gpu, network, policy=policy,
+                      local_value_fn=local_value_fn,
+                      throttle_window=throttle_window,
+                      reduce_queue_limit=reduce_queue_limit)
+            if fair_share:
+                # Asymmetric kernel overlapping: balance slots across
+                # concurrently ready kernels (CAIS dataflow optimizer).
+                gpu.policy = FairSharePolicy(
+                    gpu, max(window, 1), self.rng.stream(f"dispatch-{g}"))
+            gpu.on_dispatch = self._tb_start
+            self.gpus.append(gpu)
+        #: Optional reduction-VC dispatch pacing depth (ablation knob).
+        self.reduce_queue_limit = reduce_queue_limit
+        #: TB-aware request throttling (paper Section III-B-2): when True,
+        #: a TB whose region is homed locally still joins the pre-access
+        #: barrier, so a GPU whose contributions are local (and therefore
+        #: free) cannot run a whole data region ahead of its peers — the
+        #: "GPU ahead of its peer TBs" stall.
+        self.tb_throttle = False
+        self._tokens: set = set()
+        self._token_waiters: Dict[Token, List[Callable[[], None]]] = {}
+        self._kernel_remaining: Dict[int, int] = {}
+        self._kernel_done_cbs: Dict[int, List[Callable[[], None]]] = {}
+        self.total_compute_ns = 0.0
+        self.tbs_completed = 0
+        #: Optional per-kernel span recorder (set by the harness).
+        self.timeline = None
+
+    # ------------------------------------------------------------------
+    # Token dependency fabric
+    # ------------------------------------------------------------------
+    def signal(self, token: Token) -> None:
+        """Mark ``token`` satisfied (idempotent); wakes its waiters."""
+        if token in self._tokens:
+            return
+        self._tokens.add(token)
+        for cb in self._token_waiters.pop(token, []):
+            cb()
+
+    def is_signalled(self, token: Token) -> bool:
+        return token in self._tokens
+
+    def when_all(self, tokens: Iterable[Token],
+                 callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once every token has been signalled."""
+        missing = [t for t in tokens if t not in self._tokens]
+        if not missing:
+            callback()
+            return
+        state = {"left": len(missing)}
+
+        def arm() -> None:
+            state["left"] -= 1
+            if state["left"] == 0:
+                callback()
+
+        for token in missing:
+            self._token_waiters.setdefault(token, []).append(arm)
+
+    # ------------------------------------------------------------------
+    # Kernel launch
+    # ------------------------------------------------------------------
+    def launch_kernel(self, kernel: KernelInstance,
+                      on_complete: Optional[Callable[[], None]] = None,
+                      ) -> None:
+        """Launch ``kernel`` on every GPU; ``on_complete`` fires when the
+        last TB on the last GPU finishes."""
+        total = kernel.num_blocks() * len(self.gpus)
+        self._kernel_remaining[kernel.kernel_id] = total
+        if self.timeline is not None:
+            handle = self.timeline.begin(kernel.name, self.sim.now)
+            self._kernel_done_cbs.setdefault(kernel.kernel_id, []).append(
+                lambda h=handle: self.timeline.end(h, self.sim.now))
+        if on_complete is not None:
+            self._kernel_done_cbs.setdefault(
+                kernel.kernel_id, []).append(on_complete)
+        skew_stream = self.rng.stream("gpu-skew")
+        for gpu in self.gpus:
+            skew = (float(skew_stream.uniform(
+                0.0, self.config.jitter.gpu_skew_ns))
+                if self._jitter_enabled else 0.0)
+            self.sim.schedule(kernel.launch_overhead_ns + skew,
+                              self._enqueue_on_gpu, kernel, gpu)
+
+    def _enqueue_on_gpu(self, kernel: KernelInstance, gpu: Gpu) -> None:
+        order = (kernel.block_order if kernel.block_order is not None
+                 else block_indices(kernel.grid))
+        for bidx in order:
+            tb = ThreadBlock(kernel=kernel, gpu_index=gpu.index,
+                             block_idx=bidx)
+            deps = kernel.tb_deps(gpu.index, bidx) if kernel.tb_deps else []
+            if deps:
+                self.when_all(deps, lambda tb=tb, gpu=gpu: gpu.enqueue(tb))
+            else:
+                gpu.enqueue(tb)
+
+    # ------------------------------------------------------------------
+    # TB lifecycle
+    # ------------------------------------------------------------------
+    def _tb_start(self, tb: ThreadBlock) -> None:
+        # Pre-launch TB-group sync (if armed) happened in the GPU's
+        # dispatcher, *before* the TB acquired its slot.
+        self._tb_pre(tb)
+
+    def _jitter(self, gpu_index: int) -> float:
+        if not self._jitter_enabled:
+            return 1.0
+        return self.rng.jitter(f"tb-jitter-{gpu_index}",
+                               self.config.jitter.tb_jitter)
+
+    def _tb_pre(self, tb: ThreadBlock) -> None:
+        tb.state = TBState.COMPUTE_PRE
+        duration = tb.kernel.tb_pre_ns * self._jitter(tb.gpu_index)
+        self.total_compute_ns += duration
+        self.sim.schedule(duration, self._tb_after_pre, tb)
+
+    def _tb_after_pre(self, tb: ThreadBlock) -> None:
+        kernel = tb.kernel
+        gpu = self.gpus[tb.gpu_index]
+        loads = (kernel.remote_loads(tb.gpu_index, tb.block_idx)
+                 if kernel.remote_loads else [])
+        reduces = (kernel.remote_reduces(tb.gpu_index, tb.block_idx)
+                   if kernel.remote_reduces else [])
+        group = kernel.group_for(tb.block_idx)
+        # Reducing TBs always join the pre-access barrier when throttling
+        # is on — including the region's home GPU, whose contributions are
+        # local adds: without that, the home runs a whole region ahead and
+        # its later requests arrive out of alignment.  Load-side TBs join
+        # only when they will actually issue (cache piggybackers and the
+        # home shard add sync rounds with nothing to align).
+        if reduces:
+            participates = bool(reduces) if self.tb_throttle else any(
+                op.address.home_gpu != tb.gpu_index for op in reduces)
+            expected = (len(self.gpus) if self.tb_throttle
+                        else len(self.gpus) - 1)
+        else:
+            participates = any(
+                op.address.home_gpu != tb.gpu_index and
+                gpu.memory.would_fetch(op.address) for op in loads)
+            expected = len(self.gpus) - 1
+        if kernel.sync_preaccess and group is not None and participates:
+            tb.state = TBState.SYNC_ACCESS
+            gpu.synchronizer.request_sync(
+                group, SyncPhase.ACCESS, expected,
+                lambda: self._tb_remote(tb, loads, reduces))
+        else:
+            self._tb_remote(tb, loads, reduces)
+
+    def _tb_remote(self, tb: ThreadBlock, loads: List[RemoteOp],
+                   reduces: List[RemoteOp]) -> None:
+        tb.state = TBState.REMOTE
+        gpu = self.gpus[tb.gpu_index]
+        remote_loads = [op for op in loads
+                        if op.address.home_gpu != tb.gpu_index]
+        # Reductions are fire-and-forget (pacing happened at dispatch
+        # admission); the TB holds its slot only while loads are pending.
+        for op in reduces:
+            self._issue_reduce(gpu, op)
+        tb.loads_outstanding = len(remote_loads)
+        if tb.loads_outstanding == 0:
+            self._tb_post(tb)
+            return
+        for op in remote_loads:
+            gpu.memory.fetch_remote(
+                op.address, op.chunk_bytes,
+                mergeable=op.mergeable, expected=op.expected,
+                on_ready=lambda _value, tb=tb: self._tb_load_ready(tb))
+
+    def _issue_reduce(self, gpu: Gpu, op: RemoteOp) -> None:
+        if op.kind is not RemoteOpKind.REDUCE:
+            raise ValueError(f"not a reduction: {op}")
+        if op.address.home_gpu == gpu.index:
+            gpu.memory.add_local_contribution(op.address, op.payload)
+            return
+        if op.transport is Transport.CAIS:
+            msg = Message(op=Op.RED_CAIS, src=gpu_node(gpu.index),
+                          dst=gpu_node(op.address.home_gpu),
+                          payload_bytes=op.chunk_bytes, address=op.address,
+                          payload=op.payload, meta={"expected": op.expected})
+            # TB-aware throttling: each mergeable request spends a credit;
+            # the switch returns it when a peer's matching request arrives
+            # (second-arrival crediting), so an ahead GPU stalls here.
+            gpu.synchronizer.with_credit(lambda m=msg: gpu.send(m))
+        elif op.transport is Transport.NVLS:
+            msg = Message(op=Op.MULTIMEM_RED, src=gpu_node(gpu.index),
+                          dst=gpu_node(op.address.home_gpu),
+                          payload_bytes=op.chunk_bytes, address=op.address,
+                          payload=op.payload, meta={"expected": op.expected})
+            gpu.send(msg)
+        else:
+            msg = Message(op=Op.STORE, src=gpu_node(gpu.index),
+                          dst=gpu_node(op.address.home_gpu),
+                          payload_bytes=op.chunk_bytes, address=op.address,
+                          payload=op.payload,
+                          meta={"reduced": True, "contributions": 1,
+                                "partial": True})
+            gpu.send(msg)
+
+    def _tb_load_ready(self, tb: ThreadBlock) -> None:
+        tb.loads_outstanding -= 1
+        if tb.loads_outstanding == 0:
+            self._tb_post(tb)
+
+    def _tb_post(self, tb: ThreadBlock) -> None:
+        tb.state = TBState.COMPUTE_POST
+        duration = tb.kernel.tb_post_ns * self._jitter(tb.gpu_index)
+        self.total_compute_ns += duration
+        self.sim.schedule(duration, self._tb_done, tb)
+
+    def _tb_done(self, tb: ThreadBlock) -> None:
+        tb.state = TBState.DONE
+        tb.complete_time = self.sim.now
+        self.tbs_completed += 1
+        self.gpus[tb.gpu_index].release_slot(tb)
+        kernel = tb.kernel
+        if kernel.on_tb_complete is not None:
+            kernel.on_tb_complete(tb.gpu_index, tb.block_idx)
+        left = self._kernel_remaining[kernel.kernel_id] - 1
+        self._kernel_remaining[kernel.kernel_id] = left
+        if left == 0:
+            for cb in self._kernel_done_cbs.pop(kernel.kernel_id, []):
+                cb()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation to completion; returns the makespan (ns)."""
+        self.sim.run(until=until)
+        stuck = {kid: left for kid, left in self._kernel_remaining.items()
+                 if left > 0}
+        if stuck and until is None:
+            raise DeadlockError(
+                f"event queue drained with unfinished kernels: {stuck} "
+                f"(missing dependency signals or sync releases?)")
+        return self.sim.now

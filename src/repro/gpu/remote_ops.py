@@ -1,0 +1,66 @@
+"""Concrete remote memory operations issued by thread blocks.
+
+The CAIS compiler decides *mergeability* symbolically
+(:mod:`repro.cais.compiler`); at execution time each TB expands its memory
+instructions into the concrete :class:`RemoteOp` list below — one op per
+remote chunk it touches.
+
+The ``transport`` selects the protocol family a request travels under, which
+is exactly what distinguishes the systems under test:
+
+* ``CAIS`` — the compute-aware ISA (``ld.cais`` / ``red.cais``): requests
+  carry the 1-bit CAIS flag and are merged by the switch merge unit.
+* ``DIRECT`` — plain remote loads/stores with no in-switch computing
+  (LADM and the ring-collective transports).
+* ``NVLS`` — the communication-centric ``multimem.red`` push reduction
+  (used by T3-NVLS's DMA-based design; loads have no NVLS push analogue,
+  which is the paper's central mismatch observation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..interconnect.message import Address
+
+
+class RemoteOpKind(enum.Enum):
+    LOAD = "load"        # read a remote chunk (AG-GEMM's memory semantics)
+    REDUCE = "reduce"    # add a partial into a remote chunk (GEMM-RS)
+
+
+class Transport(enum.Enum):
+    CAIS = "cais"
+    DIRECT = "direct"
+    NVLS = "nvls"
+
+
+@dataclass(frozen=True)
+class RemoteOp:
+    """One chunk-granular remote access by one TB."""
+
+    kind: RemoteOpKind
+    address: Address
+    chunk_bytes: int
+    transport: Transport = Transport.CAIS
+    #: GPUs expected to issue the same request (merge-session size).
+    expected: int = 1
+    #: Functional payload contributed by a REDUCE (tests only).
+    payload: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive: {self}")
+        if self.expected < 1:
+            raise ValueError(f"expected must be >= 1: {self}")
+        if (self.kind is RemoteOpKind.LOAD and
+                self.transport is Transport.NVLS):
+            raise ValueError(
+                "NVLS has no push-mode load: AG-GEMM loads must use CAIS "
+                "or DIRECT transport (the paper's Fig. 1(g) mismatch)")
+
+    @property
+    def mergeable(self) -> bool:
+        return self.transport is Transport.CAIS

@@ -1,0 +1,98 @@
+"""TB dispatch-order policies.
+
+Real GPUs dispatch thread blocks through independent hardware schedulers, so
+the dispatch order drifts between GPUs even for identical kernels — the
+temporal misalignment that motivates CAIS's TB coordination (Section III-B,
+citing the variability study [18]).  :class:`ShuffledPolicy` models that
+drift as a bounded local permutation of the ready queue, seeded per GPU.
+
+:class:`KeyedPolicy` dispatches in an explicit priority order; the LADM
+baseline uses it to model locality-centric TB placement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+
+class DispatchPolicy:
+    """Chooses which ready TB a GPU dispatches next."""
+
+    def pick(self, queue: List[Any]) -> Any:
+        """Remove and return one TB from ``queue`` (must be non-empty)."""
+        raise NotImplementedError
+
+
+class FifoPolicy(DispatchPolicy):
+    """Strict submission order — what a fully deterministic scheduler does."""
+
+    def pick(self, queue: List[Any]) -> Any:
+        return queue.pop(0)
+
+
+class ShuffledPolicy(DispatchPolicy):
+    """FIFO with a bounded local shuffle: models hardware scheduler drift.
+
+    The next TB is drawn uniformly from the first ``window`` queued entries,
+    using a per-GPU RNG stream, so different GPUs interleave the same kernel
+    differently while global progress order is preserved.
+    """
+
+    def __init__(self, window: int, rng: np.random.Generator):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.rng = rng
+
+    def pick(self, queue: List[Any]) -> Any:
+        bound = min(self.window, len(queue))
+        index = int(self.rng.integers(0, bound)) if bound > 1 else 0
+        return queue.pop(index)
+
+
+class KeyedPolicy(DispatchPolicy):
+    """Dispatch the TB minimizing ``key`` (locality-aware scheduling)."""
+
+    def __init__(self, key: Callable[[Any], Any]):
+        self.key = key
+
+    def pick(self, queue: List[Any]) -> Any:
+        best = min(range(len(queue)), key=lambda i: self.key(queue[i]))
+        return queue.pop(best)
+
+
+class FairSharePolicy(DispatchPolicy):
+    """Balance SM slots across concurrently running kernels.
+
+    This implements CAIS's *asymmetric kernel overlapping* (Section
+    III-C-2): when a reduction-heavy GEMM-RS and a load-heavy AG-GEMM are
+    both ready, dispatching the kernel with the fewest resident TBs
+    partitions the SMs between them, so their complementary up/down link
+    traffic overlaps instead of serializing.  Within the fairness choice a
+    bounded shuffle window preserves the hardware-drift model.
+    """
+
+    def __init__(self, gpu: Any, window: int, rng: np.random.Generator):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.gpu = gpu                   # reads gpu.running_per_kernel
+        self.window = window
+        self.rng = rng
+
+    def pick(self, queue: List[Any]) -> Any:
+        bound = min(self.window, len(queue))
+        running = self.gpu.running_per_kernel
+        best_i = 0
+        best_load = None
+        for i in range(bound):
+            load = running.get(queue[i].kernel.kernel_id, 0)
+            if best_load is None or load < best_load:
+                best_i, best_load = i, load
+        # Shuffle among equally-loaded candidates inside the window.
+        ties = [i for i in range(bound)
+                if running.get(queue[i].kernel.kernel_id, 0) == best_load]
+        if len(ties) > 1:
+            best_i = ties[int(self.rng.integers(0, len(ties)))]
+        return queue.pop(best_i)

@@ -1,0 +1,43 @@
+"""Thread-block runtime state."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .kernels import KernelInstance
+
+
+class TBState(enum.Enum):
+    WAITING_DEPS = "waiting-deps"
+    READY = "ready"
+    SYNC_LAUNCH = "sync-launch"
+    COMPUTE_PRE = "compute-pre"
+    SYNC_ACCESS = "sync-access"
+    REMOTE = "remote"
+    COMPUTE_POST = "compute-post"
+    DONE = "done"
+
+
+@dataclass
+class ThreadBlock:
+    """One TB of one kernel on one GPU."""
+
+    kernel: KernelInstance
+    gpu_index: int
+    block_idx: Tuple[int, ...]
+    state: TBState = TBState.WAITING_DEPS
+    loads_outstanding: int = 0
+    #: Pre-launch TB-group sync already granted (paper Section III-B-2).
+    prelaunch_synced: bool = False
+    dispatch_time: float = field(default=-1.0)
+    complete_time: float = field(default=-1.0)
+
+    @property
+    def pool(self) -> str:
+        return self.kernel.pool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TB({self.kernel.name}{list(self.block_idx)}@gpu"
+                f"{self.gpu_index}, {self.state.value})")

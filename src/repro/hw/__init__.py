@@ -1,0 +1,15 @@
+"""Analytic hardware cost models (paper Section V-D)."""
+
+from .area import (
+    AreaEstimate,
+    gpu_synchronizer_area,
+    overhead_report,
+    switch_merge_unit_area,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "gpu_synchronizer_area",
+    "overhead_report",
+    "switch_merge_unit_area",
+]

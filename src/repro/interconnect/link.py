@@ -1,0 +1,133 @@
+"""Unidirectional NVLink model.
+
+A link is a bandwidth server: messages queue, serialize back to back at the
+link rate, then arrive after a fixed propagation latency.  Serialization of
+the next message overlaps the propagation of the previous one (wormhole-like
+pipelining at message granularity).
+
+Two queueing disciplines are supported, matching the paper's traffic-control
+ablation (Section III-C, Figs. 15/16):
+
+* **FIFO** (default): a single queue — a burst of large reduction chunks
+  head-of-line blocks small load requests behind it.
+* **Virtual channels**: one queue per :class:`TrafficClass` with round-robin
+  arbitration, which is CAIS's traffic control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..common.config import LinkSpec
+from ..common.errors import SimulationError
+from ..common.events import Simulator
+from ..metrics.bandwidth import BandwidthTracker
+from .message import Message, TrafficClass
+
+_RR_ORDER = (TrafficClass.CONTROL, TrafficClass.LOAD, TrafficClass.REDUCTION)
+
+
+class Link:
+    """One direction of a GPU<->switch NVLink connection."""
+
+    def __init__(self, sim: Simulator, spec: LinkSpec, name: str,
+                 traffic_control: bool = False):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.traffic_control = traffic_control
+        self.tracker = BandwidthTracker()
+        #: Set at wiring time; invoked with each delivered message.
+        self.deliver: Optional[Callable[[Message], None]] = None
+        self._queues: Dict[TrafficClass, Deque[Message]] = {
+            tc: deque() for tc in _RR_ORDER}
+        self._rr_index = 0
+        self._busy = False
+        self.peak_queue_depth = 0
+        # Backpressure waiters: (traffic class, threshold, callback).
+        self._room_waiters: Deque = deque()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Enqueue ``msg`` for transmission."""
+        if self.deliver is None:
+            raise SimulationError(f"link {self.name} is not wired")
+        queue = self._queue_for(msg)
+        queue.append(msg)
+        depth = sum(len(q) for q in self._queues.values())
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        if not self._busy:
+            self._start_next()
+
+    def queue_depth(self, traffic_class: Optional[TrafficClass] = None) -> int:
+        """Messages currently waiting (not including the one serializing)."""
+        if traffic_class is not None and self.traffic_control:
+            return len(self._queues[traffic_class])
+        return sum(len(q) for q in self._queues.values())
+
+    def wait_for_room(self, traffic_class: TrafficClass, limit: int,
+                      callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the class's queue is below ``limit``.
+
+        This is the finite-virtual-channel backpressure that CAIS's
+        TB-aware request throttling rides on: an issuing TB stalls while
+        its reduction VC is full, so no GPU's request stream runs ahead of
+        its peers by more than the VC depth.
+        """
+        if limit < 1:
+            raise SimulationError(f"backpressure limit must be >= 1")
+        if self.queue_depth(traffic_class) < limit:
+            callback()
+        else:
+            self._room_waiters.append((traffic_class, limit, callback))
+
+    def _admit_waiters(self) -> None:
+        while self._room_waiters:
+            traffic_class, limit, callback = self._room_waiters[0]
+            if self.queue_depth(traffic_class) >= limit:
+                return
+            self._room_waiters.popleft()
+            callback()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _queue_for(self, msg: Message) -> Deque[Message]:
+        if self.traffic_control:
+            return self._queues[msg.traffic_class]
+        return self._queues[TrafficClass.CONTROL]   # single shared FIFO
+
+    def _pick_next(self) -> Optional[Message]:
+        if not self.traffic_control:
+            queue = self._queues[TrafficClass.CONTROL]
+            return queue.popleft() if queue else None
+        # Round-robin across non-empty classes, continuing after the class
+        # served last so no class starves (paper: RR arbitration between the
+        # load and reduction virtual channels).
+        for step in range(len(_RR_ORDER)):
+            idx = (self._rr_index + step) % len(_RR_ORDER)
+            queue = self._queues[_RR_ORDER[idx]]
+            if queue:
+                self._rr_index = (idx + 1) % len(_RR_ORDER)
+                return queue.popleft()
+        return None
+
+    def _start_next(self) -> None:
+        msg = self._pick_next()
+        if msg is None:
+            self._busy = False
+            return
+        self._busy = True
+        serialization = msg.wire_bytes() / self.spec.bandwidth_gbps
+        now = self.sim.now
+        self.tracker.record(now, now + serialization, msg.wire_bytes())
+        self.sim.schedule(serialization, self._on_serialized, msg)
+
+    def _on_serialized(self, msg: Message) -> None:
+        self.sim.schedule(self.spec.latency_ns, self.deliver, msg)
+        self._start_next()
+        self._admit_waiters()

@@ -1,0 +1,116 @@
+"""The interconnect fabric: GPUs x switch planes, fully wired.
+
+Replicates the DGX-H100 topology the paper simulates (Section IV-A): every
+GPU has one bidirectional link to each of the 4 NVSwitch planes.  Addressed
+traffic picks its plane with the deterministic address hash (so mergeable
+requests converge); unaddressed traffic stripes round-robin.
+
+GPU-side endpoints are registered by the GPU model (or by test stubs) — the
+fabric only requires a ``receive(msg)`` callable per GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..common.config import SystemConfig
+from ..common.errors import RoutingError, SimulationError
+from ..common.events import Simulator
+from .link import Link
+from .message import Address, Message
+from .routing import plane_for_address, plane_for_stripe
+from .switch import Switch
+
+
+class Network:
+    """All links and switches of one multi-GPU node."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig,
+                 traffic_control: bool = False):
+        self.sim = sim
+        self.config = config
+        self.traffic_control = traffic_control
+        self.switches: List[Switch] = [
+            Switch(sim, config.switch, s, config.num_gpus)
+            for s in range(config.num_switches)
+        ]
+        self._gpu_receivers: Dict[int, Callable[[Message], None]] = {}
+        # Links keyed by (gpu, switch): "up" is GPU -> switch, "down" is
+        # switch -> GPU.
+        self.up_links: Dict[Tuple[int, int], Link] = {}
+        self.down_links: Dict[Tuple[int, int], Link] = {}
+        for g in range(config.num_gpus):
+            for s in range(config.num_switches):
+                up = Link(sim, config.link, f"gpu{g}->sw{s}",
+                          traffic_control=traffic_control)
+                # Bind loop variables explicitly; a bare lambda would close
+                # over the loop cell and mis-deliver every message.
+                up.deliver = self._make_switch_delivery(s, g)
+                self.up_links[(g, s)] = up
+
+                down = Link(sim, config.link, f"sw{s}->gpu{g}",
+                            traffic_control=traffic_control)
+                down.deliver = self._make_gpu_delivery(g)
+                self.down_links[(g, s)] = down
+                self.switches[s].down_links[g] = down
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _make_switch_delivery(self, switch_index: int,
+                              gpu_index: int) -> Callable[[Message], None]:
+        switch = self.switches[switch_index]
+        return lambda msg: switch.receive(msg, gpu_index)
+
+    def _make_gpu_delivery(self, gpu_index: int) -> Callable[[Message], None]:
+        def deliver(msg: Message) -> None:
+            receiver = self._gpu_receivers.get(gpu_index)
+            if receiver is None:
+                raise SimulationError(
+                    f"no receiver registered for GPU {gpu_index}")
+            receiver(msg)
+        return deliver
+
+    def register_gpu(self, gpu_index: int,
+                     receiver: Callable[[Message], None]) -> None:
+        """Attach the endpoint that consumes messages delivered to a GPU."""
+        if not 0 <= gpu_index < self.config.num_gpus:
+            raise RoutingError(f"no such GPU: {gpu_index}")
+        self._gpu_receivers[gpu_index] = receiver
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def plane_for(self, msg: Message, stripe: Optional[int] = None) -> int:
+        """Switch plane a message travels through."""
+        if msg.address is not None:
+            return plane_for_address(msg.address, self.config.num_switches)
+        return plane_for_stripe(stripe if stripe is not None else msg.msg_id,
+                                self.config.num_switches)
+
+    def send_from_gpu(self, gpu_index: int, msg: Message,
+                      stripe: Optional[int] = None) -> int:
+        """Inject ``msg`` from GPU ``gpu_index``; returns the plane used."""
+        plane = self.plane_for(msg, stripe)
+        self.up_links[(gpu_index, plane)].send(msg)
+        return plane
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def all_links(self) -> List[Link]:
+        """Every link in the fabric (both directions)."""
+        return list(self.up_links.values()) + list(self.down_links.values())
+
+    def average_utilization(self, t0: float, t1: float) -> float:
+        """Mean utilization across all links and both directions (Fig. 15)."""
+        links = self.all_links()
+        return sum(l.tracker.utilization(t0, t1) for l in links) / len(links)
+
+    def active_span(self) -> Tuple[float, float]:
+        """[first activity, last activity] across the whole fabric."""
+        links = [l for l in self.all_links() if l.tracker.messages]
+        if not links:
+            return (0.0, 0.0)
+        return (min(l.tracker.first_activity() for l in links),
+                max(l.tracker.last_activity() for l in links))

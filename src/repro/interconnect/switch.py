@@ -1,0 +1,81 @@
+"""NVSwitch model.
+
+The switch is deliberately thin: it applies a fixed internal hop latency,
+then offers each message to its attached *engines* in order (the NVLS
+multicast/reduction engine, the CAIS merge unit, the CAIS group-sync table —
+whichever the experiment configures).  The first engine that consumes the
+message handles it; otherwise the message is unicast-forwarded toward its
+destination GPU.  Output contention and arbitration live in the output
+:class:`~repro.interconnect.link.Link` objects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Protocol
+
+from ..common.config import SwitchSpec
+from ..common.errors import RoutingError
+from ..common.events import Simulator
+from .link import Link
+from .message import Message, NodeId
+
+
+class SwitchEngine(Protocol):
+    """In-switch processing engine (NVLS, CAIS merge unit, sync table)."""
+
+    def process(self, switch: "Switch", msg: Message, in_port: int) -> bool:
+        """Handle ``msg`` arriving on ``in_port``; True if consumed."""
+        ...  # pragma: no cover - protocol
+
+
+class Switch:
+    """One NVSwitch plane connecting all GPUs."""
+
+    def __init__(self, sim: Simulator, spec: SwitchSpec, index: int,
+                 num_gpus: int):
+        self.sim = sim
+        self.spec = spec
+        self.index = index
+        self.num_gpus = num_gpus
+        self.node_id: NodeId = ("sw", index)
+        #: Output links toward each GPU, wired by the Network.
+        self.down_links: Dict[int, Link] = {}
+        self.engines: List[SwitchEngine] = []
+        self.messages_handled = 0
+        self.ops_seen: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine: SwitchEngine) -> None:
+        """Add an in-switch engine; engines are offered messages in order."""
+        self.engines.append(engine)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message, in_port: int) -> None:
+        """Entry point for messages arriving from GPU ``in_port``."""
+        self.sim.schedule(self.spec.hop_latency_ns, self._dispatch,
+                          msg, in_port)
+
+    def _dispatch(self, msg: Message, in_port: int) -> None:
+        self.messages_handled += 1
+        self.ops_seen[msg.op] += 1
+        for engine in self.engines:
+            if engine.process(self, msg, in_port):
+                return
+        self.forward(msg)
+
+    def forward(self, msg: Message) -> None:
+        """Unicast ``msg`` out the port toward its destination GPU."""
+        kind, gpu_index = msg.dst
+        if kind != "gpu":
+            raise RoutingError(
+                f"switch {self.index} cannot forward to {msg.dst}")
+        link = self.down_links.get(gpu_index)
+        if link is None:
+            raise RoutingError(
+                f"switch {self.index} has no port toward GPU {gpu_index}")
+        link.send(msg)

@@ -1,0 +1,53 @@
+"""Topology descriptions for the simulated node (paper Section IV-A).
+
+The evaluated machine replicates a DGX-H100: every GPU connects to every
+NVSwitch plane with one bidirectional link.  :class:`Topology` is the
+declarative description (who connects to whom, with what link spec);
+:class:`~repro.interconnect.network.Network` instantiates it.  Scaled
+variants (16/32 GPUs for Fig. 17) keep the 4-plane fully-connected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..common.config import LinkSpec, SystemConfig
+from ..common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A bipartite GPU<->switch wiring description."""
+
+    num_gpus: int
+    num_switches: int
+    link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 2 or self.num_switches < 1:
+            raise ConfigError(f"invalid topology {self}")
+
+    def links(self) -> List[Tuple[int, int]]:
+        """Every (gpu, switch) pair that is wired (fully connected)."""
+        return [(g, s) for g in range(self.num_gpus)
+                for s in range(self.num_switches)]
+
+    def bisection_bandwidth_gbps(self) -> float:
+        """One-direction bisection bandwidth of the fabric in GB/s.
+
+        Splitting the GPUs in half, all traffic crosses through the switch
+        planes; each half drives ``num_gpus/2`` GPU-side links per plane.
+        """
+        return (self.num_gpus / 2) * self.num_switches * \
+            self.link.bandwidth_gbps
+
+    def per_gpu_bandwidth_gbps(self) -> float:
+        """Aggregate one-direction bandwidth of one GPU (all planes)."""
+        return self.num_switches * self.link.bandwidth_gbps
+
+
+def dgx_h100_topology(config: SystemConfig) -> Topology:
+    """The DGX-H100-like wiring the paper simulates."""
+    return Topology(num_gpus=config.num_gpus,
+                    num_switches=config.num_switches, link=config.link)

@@ -1,0 +1,150 @@
+"""Logical operator graphs for tensor-parallel transformer layers.
+
+A :class:`Graph` is the *system-independent* description of the work: GEMMs
+with their per-GPU shapes, vector ops (LayerNorm, GeLU, dropout+add,
+attention-softmax), and collective ops (AllReduce / ReduceScatter /
+AllGather) with their global tensor sizes.  Every system under test lowers
+the same graph differently — kernel-level barriers, chunked software
+pipelines, or CAIS's fused TB-level dataflow — which is exactly the paper's
+comparison axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..common.errors import WorkloadError
+
+
+class OpKind(enum.Enum):
+    GEMM = "gemm"
+    VECTOR = "vector"                    # LN / GeLU / dropout+add / softmax
+    COMM = "comm"
+
+
+class CommKind(enum.Enum):
+    ALL_REDUCE = "allreduce"
+    REDUCE_SCATTER = "reducescatter"
+    ALL_GATHER = "allgather"
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Per-GPU GEMM operand shapes: C[m, n] += A[m, k] @ B[k, n]."""
+
+    m: int
+    n: int
+    k: int
+
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+
+@dataclass
+class LogicalOp:
+    """One node of the layer graph."""
+
+    name: str
+    kind: OpKind
+    deps: Tuple[str, ...] = ()
+    gemm: Optional[GemmShape] = None
+    #: VECTOR ops: number of elements and arithmetic intensity.
+    elements: int = 0
+    flops_per_element: float = 8.0
+    #: COMM ops: collective kind and the *global* tensor size in bytes.
+    comm: Optional[CommKind] = None
+    comm_bytes: int = 0
+    #: Fig. 12 sub-layer tag (L1..L4) when the op belongs to one.
+    sublayer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.GEMM and self.gemm is None:
+            raise WorkloadError(f"GEMM op {self.name} needs shapes")
+        if self.kind is OpKind.COMM and (self.comm is None or
+                                         self.comm_bytes <= 0):
+            raise WorkloadError(f"COMM op {self.name} needs kind and bytes")
+        if self.kind is OpKind.VECTOR and self.elements <= 0:
+            raise WorkloadError(f"VECTOR op {self.name} needs elements")
+
+    def flops(self) -> float:
+        """Per-GPU arithmetic work of this op (0 for pure communication)."""
+        if self.kind is OpKind.GEMM:
+            return float(self.gemm.flops())
+        if self.kind is OpKind.VECTOR:
+            return self.elements * self.flops_per_element
+        return 0.0
+
+
+class Graph:
+    """A small DAG of logical ops with explicit name-based dependencies."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._ops: Dict[str, LogicalOp] = {}
+
+    def add(self, op: LogicalOp) -> LogicalOp:
+        if op.name in self._ops:
+            raise WorkloadError(f"duplicate op name {op.name!r}")
+        for dep in op.deps:
+            if dep not in self._ops:
+                raise WorkloadError(
+                    f"op {op.name!r} depends on unknown {dep!r} "
+                    f"(add producers before consumers)")
+        self._ops[op.name] = op
+        return op
+
+    def __getitem__(self, name: str) -> LogicalOp:
+        return self._ops[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def ops(self) -> List[LogicalOp]:
+        """Ops in insertion order (a valid topological order)."""
+        return list(self._ops.values())
+
+    def topo_order(self) -> List[LogicalOp]:
+        """Kahn topological order; raises on cycles."""
+        indegree = {name: len(op.deps) for name, op in self._ops.items()}
+        consumers: Dict[str, List[str]] = {n: [] for n in self._ops}
+        for op in self._ops.values():
+            for dep in op.deps:
+                consumers[dep].append(op.name)
+        frontier = [n for n, d in indegree.items() if d == 0]
+        order: List[LogicalOp] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(self._ops[name])
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    frontier.append(consumer)
+        if len(order) != len(self._ops):
+            raise WorkloadError(f"graph {self.name} has a cycle")
+        return order
+
+    def consumers_of(self, name: str) -> List[LogicalOp]:
+        return [op for op in self._ops.values() if name in op.deps]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_flops(self) -> float:
+        """Per-GPU arithmetic work across the graph."""
+        return sum(op.flops() for op in self._ops.values())
+
+    def total_comm_bytes(self) -> int:
+        """Sum of global tensor bytes moved by collective ops."""
+        return sum(op.comm_bytes for op in self._ops.values()
+                   if op.kind is OpKind.COMM)
+
+    def comm_ops(self) -> List[LogicalOp]:
+        return [op for op in self._ops.values() if op.kind is OpKind.COMM]
+
+    def sublayer_ops(self, tag: str) -> List[LogicalOp]:
+        return [op for op in self._ops.values() if op.sublayer == tag]

@@ -1,0 +1,262 @@
+"""Tensor-parallel layer graph builders (paper Fig. 1(a)(b)).
+
+Two TP styles:
+
+* **Basic TP** (Megatron [49]): column-parallel QKV / FFN1, row-parallel
+  projection / FFN2, AllReduce after each row-parallel GEMM (``f``/``f̄``
+  operators).  LayerNorm and dropout are replicated.
+* **TP with Sequence Parallelism** (Korthikanti et al. [25]): activations
+  are sharded along the sequence dimension outside the GEMMs; AllReduce
+  splits into ReduceScatter + AllGather (``g``/``ḡ``), and LN/dropout run on
+  1/K of the rows.
+
+The backward graphs mirror the forward communication (AG <-> RS) and carry
+both dgrad and wgrad GEMMs.  The Fig. 12 sub-layers (GEMM-RS + LN +
+AG-GEMM chains) are available standalone through :func:`sublayer_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.errors import WorkloadError
+from .graph import CommKind, GemmShape, Graph, LogicalOp, OpKind
+from .models import ModelConfig
+
+
+def _check_divisible(model: ModelConfig, tp: int) -> None:
+    if tp < 2:
+        raise WorkloadError(f"tensor parallelism needs tp >= 2, got {tp}")
+    for dim_name, dim in (("hidden", model.hidden),
+                          ("ffn_hidden", model.ffn_hidden),
+                          ("heads", model.heads),
+                          ("tokens", model.tokens)):
+        if dim % tp:
+            raise WorkloadError(
+                f"{model.name}: {dim_name}={dim} not divisible by tp={tp}")
+
+
+def _vector(name: str, elements: int, deps: Tuple[str, ...],
+            sublayer: str = None) -> LogicalOp:
+    return LogicalOp(name=name, kind=OpKind.VECTOR, deps=deps,
+                     elements=elements, sublayer=sublayer)
+
+
+def _gemm(name: str, m: int, n: int, k: int, deps: Tuple[str, ...],
+          sublayer: str = None) -> LogicalOp:
+    return LogicalOp(name=name, kind=OpKind.GEMM, deps=deps,
+                     gemm=GemmShape(m, n, k), sublayer=sublayer)
+
+
+def _comm(name: str, kind: CommKind, nbytes: int, deps: Tuple[str, ...],
+          sublayer: str = None) -> LogicalOp:
+    return LogicalOp(name=name, kind=OpKind.COMM, deps=deps, comm=kind,
+                     comm_bytes=nbytes, sublayer=sublayer)
+
+
+# ---------------------------------------------------------------------------
+# Forward graphs
+# ---------------------------------------------------------------------------
+
+def sp_forward_layer(model: ModelConfig, tp: int) -> Graph:
+    """One TP+SP transformer layer, forward pass."""
+    _check_divisible(model, tp)
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    act = model.activation_bytes()
+    g = Graph(f"{model.name}-sp-fwd-tp{tp}")
+    g.add(_vector("ln1", m * h // tp, (), sublayer="L2"))
+    g.add(_comm("ag1", CommKind.ALL_GATHER, act, ("ln1",), sublayer="L2"))
+    g.add(_gemm("qkv", m, 3 * h // tp, h, ("ag1",), sublayer="L2"))
+    g.add(_gemm("attn_score", m, model.seq_len, h // tp, ("qkv",)))
+    g.add(_vector("softmax", model.batch * (model.heads // tp) *
+                  model.seq_len ** 2, ("attn_score",)))
+    g.add(_gemm("attn_ctx", m, h // tp, model.seq_len, ("softmax",)))
+    g.add(_gemm("proj", m, h, h // tp, ("attn_ctx",), sublayer="L1"))
+    g.add(_comm("rs1", CommKind.REDUCE_SCATTER, act, ("proj",),
+                sublayer="L1"))
+    g.add(_vector("dropadd1", m * h // tp, ("rs1",), sublayer="L1"))
+    g.add(_vector("ln2", m * h // tp, ("dropadd1",), sublayer="L1"))
+    g.add(_comm("ag2", CommKind.ALL_GATHER, act, ("ln2",), sublayer="L1"))
+    g.add(_gemm("ffn1", m, f // tp, h, ("ag2",), sublayer="L1"))
+    g.add(_vector("gelu", m * f // tp, ("ffn1",)))
+    g.add(_gemm("ffn2", m, h, f // tp, ("gelu",), sublayer="L2"))
+    g.add(_comm("rs2", CommKind.REDUCE_SCATTER, act, ("ffn2",),
+                sublayer="L2"))
+    g.add(_vector("dropadd2", m * h // tp, ("rs2",), sublayer="L2"))
+    return g
+
+
+def basic_forward_layer(model: ModelConfig, tp: int) -> Graph:
+    """One Basic-TP transformer layer, forward pass (AllReduce variant)."""
+    _check_divisible(model, tp)
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    act = model.activation_bytes()
+    g = Graph(f"{model.name}-basic-fwd-tp{tp}")
+    g.add(_vector("ln1", m * h, ()))
+    g.add(_gemm("qkv", m, 3 * h // tp, h, ("ln1",)))
+    g.add(_gemm("attn_score", m, model.seq_len, h // tp, ("qkv",)))
+    g.add(_vector("softmax", model.batch * (model.heads // tp) *
+                  model.seq_len ** 2, ("attn_score",)))
+    g.add(_gemm("attn_ctx", m, h // tp, model.seq_len, ("softmax",)))
+    g.add(_gemm("proj", m, h, h // tp, ("attn_ctx",)))
+    g.add(_comm("ar1", CommKind.ALL_REDUCE, act, ("proj",)))
+    g.add(_vector("dropadd1", m * h, ("ar1",)))
+    g.add(_vector("ln2", m * h, ("dropadd1",)))
+    g.add(_gemm("ffn1", m, f // tp, h, ("ln2",)))
+    g.add(_vector("gelu", m * f // tp, ("ffn1",)))
+    g.add(_gemm("ffn2", m, h, f // tp, ("gelu",)))
+    g.add(_comm("ar2", CommKind.ALL_REDUCE, act, ("ffn2",)))
+    g.add(_vector("dropadd2", m * h, ("ar2",)))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Backward graphs
+# ---------------------------------------------------------------------------
+
+def sp_backward_layer(model: ModelConfig, tp: int) -> Graph:
+    """One TP+SP layer, backward pass: mirrored comms, dgrad + wgrad."""
+    _check_divisible(model, tp)
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    act = model.activation_bytes()
+    g = Graph(f"{model.name}-sp-bwd-tp{tp}")
+    g.add(_vector("dropadd2_bwd", m * h // tp, ()))
+    # Backward of rs2 is an AllGather of the incoming gradient (ḡ).
+    g.add(_comm("ag_rs2", CommKind.ALL_GATHER, act, ("dropadd2_bwd",),
+                sublayer="L4"))
+    g.add(_gemm("ffn2_dgrad", m, f // tp, h, ("ag_rs2",), sublayer="L4"))
+    g.add(_gemm("ffn2_wgrad", f // tp, h, m, ("ag_rs2",)))
+    g.add(_vector("gelu_bwd", m * f // tp, ("ffn2_dgrad",)))
+    g.add(_gemm("ffn1_dgrad", m, h, f // tp, ("gelu_bwd",), sublayer="L3"))
+    g.add(_gemm("ffn1_wgrad", h, f // tp, m, ("gelu_bwd",)))
+    # Backward of ag2 is a ReduceScatter of the partial dX (g).
+    g.add(_comm("rs_ag2", CommKind.REDUCE_SCATTER, act, ("ffn1_dgrad",),
+                sublayer="L3"))
+    g.add(_vector("ln2_bwd", m * h // tp, ("rs_ag2",), sublayer="L3"))
+    g.add(_comm("ag_rs1", CommKind.ALL_GATHER, act, ("ln2_bwd",),
+                sublayer="L3"))
+    g.add(_gemm("proj_dgrad", m, h // tp, h, ("ag_rs1",), sublayer="L3"))
+    g.add(_gemm("proj_wgrad", h // tp, h, m, ("ag_rs1",)))
+    # Attention backward: two GEMMs per forward GEMM (dgrad w.r.t. each
+    # operand of the score and context products).
+    g.add(_gemm("attn_ctx_bwd_dp", m, model.seq_len, h // tp,
+                ("proj_dgrad",)))
+    g.add(_gemm("attn_ctx_bwd_dv", m, h // tp, model.seq_len,
+                ("proj_dgrad",)))
+    g.add(_vector("softmax_bwd", model.batch * (model.heads // tp) *
+                  model.seq_len ** 2, ("attn_ctx_bwd_dp",)))
+    g.add(_gemm("attn_score_bwd_dq", m, h // tp, model.seq_len,
+                ("softmax_bwd",)))
+    g.add(_gemm("attn_score_bwd_dk", m, h // tp, model.seq_len,
+                ("softmax_bwd",)))
+    g.add(_gemm("qkv_dgrad", m, h, 3 * h // tp,
+                ("attn_score_bwd_dq", "attn_score_bwd_dk"),
+                sublayer="L4"))
+    g.add(_gemm("qkv_wgrad", 3 * h // tp, h, m, ("attn_score_bwd_dq",)))
+    g.add(_comm("rs_ag1", CommKind.REDUCE_SCATTER, act, ("qkv_dgrad",),
+                sublayer="L4"))
+    g.add(_vector("ln1_bwd", m * h // tp, ("rs_ag1",), sublayer="L4"))
+    return g
+
+
+def basic_backward_layer(model: ModelConfig, tp: int) -> Graph:
+    """One Basic-TP layer, backward pass (AllReduce on dgrads, f̄)."""
+    _check_divisible(model, tp)
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    act = model.activation_bytes()
+    g = Graph(f"{model.name}-basic-bwd-tp{tp}")
+    g.add(_vector("dropadd2_bwd", m * h, ()))
+    g.add(_gemm("ffn2_dgrad", m, f // tp, h, ("dropadd2_bwd",)))
+    g.add(_gemm("ffn2_wgrad", f // tp, h, m, ("dropadd2_bwd",)))
+    g.add(_vector("gelu_bwd", m * f // tp, ("ffn2_dgrad",)))
+    g.add(_gemm("ffn1_dgrad", m, h, f // tp, ("gelu_bwd",)))
+    g.add(_gemm("ffn1_wgrad", h, f // tp, m, ("gelu_bwd",)))
+    g.add(_comm("ar_ffn", CommKind.ALL_REDUCE, act, ("ffn1_dgrad",)))
+    g.add(_vector("ln2_bwd", m * h, ("ar_ffn",)))
+    g.add(_gemm("proj_dgrad", m, h // tp, h, ("ln2_bwd",)))
+    g.add(_gemm("proj_wgrad", h // tp, h, m, ("ln2_bwd",)))
+    g.add(_gemm("attn_ctx_bwd_dp", m, model.seq_len, h // tp,
+                ("proj_dgrad",)))
+    g.add(_gemm("attn_ctx_bwd_dv", m, h // tp, model.seq_len,
+                ("proj_dgrad",)))
+    g.add(_vector("softmax_bwd", model.batch * (model.heads // tp) *
+                  model.seq_len ** 2, ("attn_ctx_bwd_dp",)))
+    g.add(_gemm("attn_score_bwd_dq", m, h // tp, model.seq_len,
+                ("softmax_bwd",)))
+    g.add(_gemm("attn_score_bwd_dk", m, h // tp, model.seq_len,
+                ("softmax_bwd",)))
+    g.add(_gemm("qkv_dgrad", m, h, 3 * h // tp,
+                ("attn_score_bwd_dq", "attn_score_bwd_dk")))
+    g.add(_gemm("qkv_wgrad", 3 * h // tp, h, m, ("attn_score_bwd_dq",)))
+    g.add(_comm("ar_qkv", CommKind.ALL_REDUCE, act, ("qkv_dgrad",)))
+    g.add(_vector("ln1_bwd", m * h, ("ar_qkv",)))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 sub-layers
+# ---------------------------------------------------------------------------
+
+#: (gemm1 per-GPU shape fn, gemm2 per-GPU shape fn) for each sub-layer.
+SUBLAYERS = ("L1", "L2", "L3", "L4")
+
+
+def sublayer_graph(model: ModelConfig, tp: int, which: str,
+                   style: str = "sp") -> Graph:
+    """One of the paper's four GEMM-RS + LN + AG-GEMM chains.
+
+    * L1 — output projection -> LN -> first FFN layer (forward)
+    * L2 — second FFN layer -> LN -> input (QKV) projection (forward)
+    * L3 — first FFN layer -> LN -> output projection (backward)
+    * L4 — input projection -> LN -> second FFN layer (backward)
+
+    ``style="basic"`` lowers the same chain the Basic-TP way (GEMM ->
+    AllReduce -> replicated LN -> GEMM), which is how the AllReduce-based
+    baselines execute it.
+    """
+    _check_divisible(model, tp)
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    shapes: Dict[str, Tuple[GemmShape, GemmShape]] = {
+        "L1": (GemmShape(m, h, h // tp), GemmShape(m, f // tp, h)),
+        "L2": (GemmShape(m, h, f // tp), GemmShape(m, 3 * h // tp, h)),
+        "L3": (GemmShape(m, h, f // tp), GemmShape(m, h // tp, h)),
+        "L4": (GemmShape(m, h, 3 * h // tp), GemmShape(m, f // tp, h)),
+    }
+    if which not in shapes:
+        raise WorkloadError(f"unknown sub-layer {which!r}; "
+                            f"expected one of {SUBLAYERS}")
+    g1, g2 = shapes[which]
+    act = model.activation_bytes()
+    if style == "basic":
+        g = Graph(f"{model.name}-{which}-basic-tp{tp}")
+        g.add(LogicalOp(name="gemm1", kind=OpKind.GEMM, gemm=g1,
+                        sublayer=which))
+        g.add(_comm("ar", CommKind.ALL_REDUCE, act, ("gemm1",),
+                    sublayer=which))
+        g.add(_vector("ln", m * h, ("ar",), sublayer=which))
+        g.add(LogicalOp(name="gemm2", kind=OpKind.GEMM, gemm=g2,
+                        deps=("ln",), sublayer=which))
+        return g
+    if style != "sp":
+        raise WorkloadError(f"unknown sub-layer style {style!r}")
+    g = Graph(f"{model.name}-{which}-tp{tp}")
+    g.add(LogicalOp(name="gemm1", kind=OpKind.GEMM, gemm=g1,
+                    sublayer=which))
+    g.add(_comm("rs", CommKind.REDUCE_SCATTER, act, ("gemm1",),
+                sublayer=which))
+    g.add(_vector("ln", m * h // tp, ("rs",), sublayer=which))
+    g.add(_comm("ag", CommKind.ALL_GATHER, act, ("ln",), sublayer=which))
+    g.add(LogicalOp(name="gemm2", kind=OpKind.GEMM, gemm=g2, deps=("ag",),
+                    sublayer=which))
+    return g
+
+
+def training_graphs(model: ModelConfig, tp: int,
+                    style: str = "sp") -> List[Graph]:
+    """Forward + backward graphs for one layer (training step slice)."""
+    if style == "sp":
+        return [sp_forward_layer(model, tp), sp_backward_layer(model, tp)]
+    if style == "basic":
+        return [basic_forward_layer(model, tp),
+                basic_backward_layer(model, tp)]
+    raise WorkloadError(f"unknown TP style {style!r}")

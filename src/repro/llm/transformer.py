@@ -1,0 +1,107 @@
+"""Model-level accounting for tensor-parallel transformers.
+
+Aggregates the quantities the paper's background section leans on:
+per-layer and per-model parameter counts, arithmetic work, communication
+volume per TP style, and per-GPU activation memory — including the claim
+that motivates TP+SP (Section II-A): *"TP with SP can partition more
+operations (e.g., LayerNorm) and hence reduces memory consumption for
+activations across GPUs."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import WorkloadError
+from .graph import OpKind
+from .models import ModelConfig
+from .tp import basic_forward_layer, sp_forward_layer
+
+
+def layer_parameters(model: ModelConfig) -> int:
+    """Weights of one transformer layer (attention + FFN, no embeddings)."""
+    h, f = model.hidden, model.ffn_hidden
+    attention = 3 * h * h + h * h            # QKV + output projection
+    ffn = 2 * h * f                          # up + down projections
+    norms = 4 * h                            # two LayerNorms (scale+bias)
+    return attention + ffn + norms
+
+
+def model_parameters(model: ModelConfig) -> int:
+    """Whole-model weight count (layers only)."""
+    return model.layers * layer_parameters(model)
+
+
+def layer_flops_per_gpu(model: ModelConfig, tp: int,
+                        style: str = "sp") -> float:
+    """Per-GPU arithmetic work of one forward layer."""
+    graph = (sp_forward_layer(model, tp) if style == "sp"
+             else basic_forward_layer(model, tp))
+    return graph.total_flops()
+
+
+def layer_comm_bytes(model: ModelConfig, tp: int, style: str = "sp") -> int:
+    """Global bytes moved by one forward layer's collectives."""
+    graph = (sp_forward_layer(model, tp) if style == "sp"
+             else basic_forward_layer(model, tp))
+    return graph.total_comm_bytes()
+
+
+@dataclass(frozen=True)
+class ActivationFootprint:
+    """Per-GPU activation bytes of one layer under a TP style."""
+
+    style: str
+    sharded_bytes: int       # activations held at 1/tp (sequence-sharded)
+    replicated_bytes: int    # activations held in full on every GPU
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sharded_bytes + self.replicated_bytes
+
+
+def activation_footprint(model: ModelConfig, tp: int,
+                         style: str = "sp") -> ActivationFootprint:
+    """Per-GPU activation memory for one layer's saved tensors.
+
+    Counted tensors: the layer input, the attention output (post
+    projection), the FFN intermediate, and the layer output.  Under Basic
+    TP the [tokens, hidden] tensors around LayerNorm/dropout are
+    replicated on every GPU; under TP+SP they are sequence-sharded to
+    1/tp — the memory saving the paper credits SP with.
+    """
+    if tp < 1:
+        raise WorkloadError(f"tp must be >= 1, got {tp}")
+    act = model.tokens * model.hidden * model.dtype_bytes
+    ffn_mid = model.tokens * (model.ffn_hidden // tp) * model.dtype_bytes
+    if style == "sp":
+        # Input, attention output, layer output: all sequence-sharded.
+        return ActivationFootprint(style="sp",
+                                   sharded_bytes=3 * act // tp + ffn_mid,
+                                   replicated_bytes=0)
+    if style == "basic":
+        # The same three [tokens, hidden] tensors live in full per GPU.
+        return ActivationFootprint(style="basic",
+                                   sharded_bytes=ffn_mid,
+                                   replicated_bytes=3 * act)
+    raise WorkloadError(f"unknown TP style {style!r}")
+
+
+def sp_memory_saving(model: ModelConfig, tp: int) -> float:
+    """Fraction of per-GPU activation memory TP+SP saves over Basic TP."""
+    basic = activation_footprint(model, tp, "basic").total_bytes
+    sp = activation_footprint(model, tp, "sp").total_bytes
+    return 1.0 - sp / basic
+
+
+def communication_summary(model: ModelConfig, tp: int) -> dict:
+    """Per-layer traffic/compute overview for both TP styles."""
+    out = {}
+    for style in ("basic", "sp"):
+        out[style] = {
+            "flops_per_gpu": layer_flops_per_gpu(model, tp, style),
+            "comm_bytes": layer_comm_bytes(model, tp, style),
+            "activation_bytes_per_gpu":
+                activation_footprint(model, tp, style).total_bytes,
+        }
+    return out

@@ -1,0 +1,67 @@
+"""JSON export of run results.
+
+Serializes a :class:`~repro.systems.base.RunResult` — headline numbers,
+merge statistics, per-kernel timeline spans, and per-link utilization — to
+a plain-JSON structure for downstream analysis (pandas, plotting, CI
+dashboards).  Everything is derived data; no simulator objects leak out.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+
+def run_result_to_dict(result, time_series_windows: int = 0) -> Dict[str, Any]:
+    """Flatten a RunResult into JSON-serializable primitives.
+
+    ``time_series_windows`` > 0 adds a fabric-wide utilization time series
+    with that many windows (0 skips it — it is the bulkiest field).
+    """
+    out: Dict[str, Any] = {
+        "system": result.system,
+        "makespan_ns": result.makespan_ns,
+        "compute_ns": result.compute_ns,
+        "tbs_completed": result.tbs_completed,
+        "events": result.events,
+        "gpu_utilization": result.gpu_utilization,
+        "link_utilization": result.average_bandwidth_utilization(),
+        "details": dict(result.details),
+    }
+    if result.merge_stats is not None:
+        out["merge"] = {k: float(v)
+                        for k, v in result.merge_stats.summary().items()}
+    if result.timeline is not None:
+        out["kernels"] = [
+            {"name": s.name, "start_ns": s.start_ns, "end_ns": s.end_ns}
+            for s in result.timeline.spans()]
+    if result.network is not None:
+        out["bytes_on_fabric"] = sum(
+            l.tracker.bytes_transferred for l in result.network.all_links())
+        if time_series_windows > 0 and result.makespan_ns > 0:
+            links = result.network.all_links()
+            window = result.makespan_ns / time_series_windows
+            series = []
+            t = 0.0
+            while t < result.makespan_ns - 1e-9:
+                hi = min(t + window, result.makespan_ns)
+                util = sum(l.tracker.utilization(t, hi)
+                           for l in links) / len(links)
+                series.append({"t_ns": (t + hi) / 2, "utilization": util})
+                t += window
+            out["utilization_series"] = series
+    return out
+
+
+def dump_run_result(result, path: str,
+                    time_series_windows: int = 0) -> None:
+    """Write a RunResult to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(run_result_to_dict(result, time_series_windows), fh,
+                  indent=2)
+
+
+def load_run_summary(path: str) -> Dict[str, Any]:
+    """Read back a previously dumped run summary."""
+    with open(path) as fh:
+        return json.load(fh)

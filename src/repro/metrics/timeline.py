@@ -1,0 +1,98 @@
+"""Per-kernel execution timeline.
+
+Records (kernel name, launch time, completion time) for every kernel the
+executor launches, giving runs a Gantt-style breakdown: which operators
+overlapped, where the critical path sat, how much of the makespan each
+stage covered.  Used by the run reports and the fusion-study example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """One kernel's lifetime."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start_ns < other.end_ns and other.start_ns < self.end_ns
+
+
+class Timeline:
+    """Ordered record of kernel spans."""
+
+    def __init__(self) -> None:
+        self._open: Dict[int, Tuple[str, float]] = {}
+        self._spans: List[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording (driven by the executor)
+    # ------------------------------------------------------------------
+    def begin(self, name: str, time_ns: float) -> int:
+        """Open a span; returns a handle for :meth:`end`."""
+        handle = self._next_id
+        self._next_id += 1
+        self._open[handle] = (name, time_ns)
+        return handle
+
+    def end(self, handle: int, time_ns: float) -> None:
+        name, start = self._open.pop(handle)
+        self._spans.append(Span(name, start, time_ns))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Completed spans in completion order."""
+        return list(self._spans)
+
+    def span_for(self, name: str) -> Optional[Span]:
+        """The first completed span with this name (None if absent)."""
+        for span in self._spans:
+            if span.name == name:
+                return span
+        return None
+
+    def overlap_ns(self, a: str, b: str) -> float:
+        """Wall-clock overlap between the first spans named ``a`` and ``b``."""
+        sa, sb = self.span_for(a), self.span_for(b)
+        if sa is None or sb is None:
+            return 0.0
+        lo = max(sa.start_ns, sb.start_ns)
+        hi = min(sa.end_ns, sb.end_ns)
+        return max(0.0, hi - lo)
+
+    def critical_span(self) -> Optional[Span]:
+        """The span that finished last."""
+        if not self._spans:
+            return None
+        return max(self._spans, key=lambda s: s.end_ns)
+
+    def render(self, width: int = 48) -> str:
+        """ASCII Gantt chart of the completed spans."""
+        if not self._spans:
+            return "(empty timeline)"
+        t1 = max(s.end_ns for s in self._spans)
+        if t1 <= 0:
+            return "(empty timeline)"
+        name_w = max(len(s.name) for s in self._spans)
+        lines = []
+        for span in sorted(self._spans, key=lambda s: s.start_ns):
+            lo = int(span.start_ns / t1 * width)
+            hi = max(lo + 1, int(span.end_ns / t1 * width))
+            bar = " " * lo + "#" * (hi - lo)
+            lines.append(f"{span.name:<{name_w}} |{bar:<{width}}| "
+                         f"{span.start_ns / 1e3:9.1f} -> "
+                         f"{span.end_ns / 1e3:9.1f} us")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""NVLink SHARP (NVLS) in-switch computing: the communication-centric baseline."""
+
+from .engine import NvlsEngine
+
+__all__ = ["NvlsEngine"]

@@ -1,0 +1,61 @@
+"""Systems under test: the paper's nine baselines and CAIS variants."""
+
+from .base import (
+    BarrierRunner,
+    CommImpl,
+    Harness,
+    NvlsComm,
+    RingComm,
+    RunResult,
+)
+from .ladm import DirectComm
+from .overlap import OverlapRunner
+from .systems import (
+    BASELINE_ORDER,
+    SYSTEM_CLASSES,
+    Cais,
+    CaisBase,
+    CaisNoCoord,
+    CaisPartial,
+    CoCoNet,
+    CoCoNetNvls,
+    FuseLib,
+    FuseLibNvls,
+    Ladm,
+    SpNvls,
+    System,
+    T3,
+    T3Nvls,
+    TpNvls,
+    make_system,
+)
+from .t3 import T3Runner
+
+__all__ = [
+    "BASELINE_ORDER",
+    "BarrierRunner",
+    "Cais",
+    "CaisBase",
+    "CaisNoCoord",
+    "CaisPartial",
+    "CoCoNet",
+    "CoCoNetNvls",
+    "CommImpl",
+    "DirectComm",
+    "FuseLib",
+    "FuseLibNvls",
+    "Harness",
+    "Ladm",
+    "NvlsComm",
+    "OverlapRunner",
+    "RingComm",
+    "RunResult",
+    "SYSTEM_CLASSES",
+    "SpNvls",
+    "System",
+    "T3",
+    "T3Nvls",
+    "T3Runner",
+    "TpNvls",
+    "make_system",
+]

@@ -1,0 +1,248 @@
+"""System-under-test scaffolding shared by every baseline and by CAIS.
+
+A :class:`Harness` assembles one simulated node — event engine, fabric,
+switch engines, GPUs/executor — according to a system's feature set (NVLS
+engines? CAIS merge unit? group-sync tables? traffic control? throttling?).
+
+A :class:`BarrierRunner` executes a logical graph the way the
+kernel-barrier baselines do: an op starts when all its graph dependencies
+completed; compute ops run TB-granular on the executor, collective ops run
+through a pluggable :class:`CommImpl` (ring or NVLS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from ..cais.coordination import GroupSyncTable
+from ..cais.merge_unit import MergeUnit
+from ..collectives.nvls_collectives import NvlsCollective
+from ..collectives.ring import RingCollective
+from ..common.config import SystemConfig
+from ..common.errors import SimulationError, WorkloadError
+from ..common.events import Simulator
+from ..gpu.executor import Executor
+from ..interconnect.network import Network
+from ..llm.graph import CommKind, Graph, LogicalOp, OpKind
+from ..llm.tiling import TilingConfig, compute_kernel
+from ..metrics.merge_stats import MergeStats
+from ..metrics.timeline import Timeline
+from ..nvls.engine import NvlsEngine
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one workload graph (or graph sequence)."""
+
+    system: str
+    makespan_ns: float
+    compute_ns: float
+    tbs_completed: int
+    events: int
+    merge_stats: Optional[MergeStats] = None
+    network: Optional[Network] = None
+    #: Mean fraction of SM slot capacity occupied across GPUs — the paper's
+    #: Section II observation: "GPU utilization can drop below 60%, even
+    #: when NVLS is enabled".
+    gpu_utilization: float = 0.0
+    #: Per-kernel spans (launch -> completion) for Gantt-style breakdowns.
+    timeline: Optional[Timeline] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def average_bandwidth_utilization(self) -> float:
+        """Mean utilization across all links and both directions, over the
+        whole run (the Fig. 15 metric) — a system that serializes compute
+        and communication phases leaves its links idle during compute and
+        scores lower than one that overlaps them."""
+        if self.network is None or self.makespan_ns <= 0:
+            return 0.0
+        return self.network.average_utilization(0.0, self.makespan_ns)
+
+
+class Harness:
+    """One simulated node configured for a specific system."""
+
+    def __init__(self, config: SystemConfig, *,
+                 nvls: bool = False,
+                 merge: bool = False,
+                 merge_capacity: Optional[int] = "spec",
+                 merge_timeout: Optional[float] = "spec",
+                 merge_eviction_policy: str = "lru",
+                 sync_tables: bool = False,
+                 traffic_control: bool = False,
+                 throttle_window: Optional[int] = None,
+                 reduce_queue_limit: Optional[int] = None,
+                 fair_share: bool = False,
+                 jitter: bool = True,
+                 local_value_fn=None):
+        self.config = config
+        self.sim = Simulator()
+        self.network = Network(self.sim, config,
+                               traffic_control=traffic_control)
+        self.merge_stats: Optional[MergeStats] = None
+        if merge:
+            self.merge_stats = MergeStats()
+            capacity = (config.switch.merge_table_entries
+                        if merge_capacity == "spec" else merge_capacity)
+            timeout = (config.switch.merge_timeout_ns
+                       if merge_timeout == "spec" else merge_timeout)
+            for sw in self.network.switches:
+                sw.attach_engine(MergeUnit(
+                    self.merge_stats, config.num_gpus,
+                    capacity_entries=capacity, timeout_ns=timeout,
+                    emit_credits=throttle_window is not None,
+                    eviction_policy=merge_eviction_policy))
+        if nvls:
+            for sw in self.network.switches:
+                sw.attach_engine(NvlsEngine())
+        if sync_tables:
+            for sw in self.network.switches:
+                sw.attach_engine(GroupSyncTable())
+        self.executor = Executor(self.sim, config, self.network,
+                                 local_value_fn=local_value_fn,
+                                 throttle_window=throttle_window,
+                                 jitter_enabled=jitter,
+                                 fair_share=fair_share,
+                                 reduce_queue_limit=reduce_queue_limit)
+        self.timeline = Timeline()
+        self.executor.timeline = self.timeline
+
+    def restrict_compute_slots(self, fraction: float) -> None:
+        """Model SM contention from resident communication kernels
+        (CoCoNet/FuseLib software overlap): shrink the compute pool."""
+        if not 0 < fraction <= 1:
+            raise WorkloadError(f"fraction must be in (0,1], got {fraction}")
+        for gpu in self.executor.gpus:
+            slots = max(1, int(gpu.total_slots * fraction))
+            gpu.set_pools({"default": slots})
+
+    def result(self, system: str, **details: float) -> RunResult:
+        makespan = self.sim.now
+        gpu_util = (sum(g.utilization(makespan)
+                        for g in self.executor.gpus) /
+                    len(self.executor.gpus)) if makespan > 0 else 0.0
+        return RunResult(system=system, makespan_ns=makespan,
+                         compute_ns=self.executor.total_compute_ns,
+                         tbs_completed=self.executor.tbs_completed,
+                         events=self.sim.events_processed,
+                         merge_stats=self.merge_stats,
+                         network=self.network,
+                         gpu_utilization=gpu_util,
+                         timeline=self.timeline,
+                         details=dict(details))
+
+
+class CommImpl(Protocol):
+    """Collective transport used by barrier/overlap runners."""
+
+    def run(self, kind: CommKind, nbytes: int,
+            on_complete: Callable[[], None],
+            on_chunk: Optional[Callable[[int, int, int], None]] = None
+            ) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class RingComm:
+    """Ring transport adapter (CoCoNet / FuseLib / T3 / LADM baselines)."""
+
+    def __init__(self, harness: Harness, chunk_bytes: int = 262144):
+        self.driver = RingCollective(harness.network, harness.executor.gpus,
+                                     chunk_bytes=chunk_bytes)
+
+    def run(self, kind, nbytes, on_complete, on_chunk=None):
+        if kind is CommKind.ALL_REDUCE:
+            self.driver.all_reduce(nbytes, on_complete, on_chunk)
+        elif kind is CommKind.REDUCE_SCATTER:
+            self.driver.reduce_scatter(nbytes, on_complete, on_chunk)
+        elif kind is CommKind.ALL_GATHER:
+            self.driver.all_gather(nbytes, on_complete, on_chunk)
+        else:  # pragma: no cover - enum is exhaustive
+            raise WorkloadError(f"unknown collective {kind}")
+
+
+class NvlsComm:
+    """NVLS multimem transport adapter (TP-NVLS / SP-NVLS / *-NVLS)."""
+
+    def __init__(self, harness: Harness, chunk_bytes: int = 262144):
+        self.driver = NvlsCollective(harness.network, harness.executor.gpus,
+                                     chunk_bytes=chunk_bytes)
+
+    def run(self, kind, nbytes, on_complete, on_chunk=None):
+        if kind is CommKind.ALL_REDUCE:
+            self.driver.all_reduce(nbytes, on_complete, on_chunk)
+        elif kind is CommKind.REDUCE_SCATTER:
+            self.driver.reduce_scatter(nbytes, on_complete, on_chunk)
+        elif kind is CommKind.ALL_GATHER:
+            self.driver.all_gather(nbytes, on_complete, on_chunk)
+        else:  # pragma: no cover - enum is exhaustive
+            raise WorkloadError(f"unknown collective {kind}")
+
+
+class BarrierRunner:
+    """Kernel-barrier execution of a logical graph.
+
+    Each op starts when its graph dependencies complete (parallel branches
+    do run concurrently); there is no overlap between a producer kernel and
+    its collective — the paper's global-barrier pattern.
+    """
+
+    def __init__(self, harness: Harness, comm: CommImpl,
+                 tiling: Optional[TilingConfig] = None,
+                 launch_overhead_ns: Optional[float] = None):
+        self.harness = harness
+        self.comm = comm
+        self.tiling = tiling or TilingConfig()
+        self.launch_overhead_ns = (
+            harness.config.gpu.kernel_launch_overhead_ns
+            if launch_overhead_ns is None else launch_overhead_ns)
+
+    def run_graph(self, graph: Graph,
+                  on_done: Optional[Callable[[], None]] = None) -> None:
+        """Wire the whole graph; completion fires ``on_done``."""
+        done: Dict[str, bool] = {op.name: False for op in graph.ops()}
+        waiting: Dict[str, int] = {}
+        pending = {"count": len(done)}
+
+        def finish(name: str) -> None:
+            done[name] = True
+            pending["count"] -= 1
+            if pending["count"] == 0 and on_done is not None:
+                on_done()
+                return
+            for consumer in graph.consumers_of(name):
+                waiting[consumer.name] -= 1
+                if waiting[consumer.name] == 0:
+                    start(consumer)
+
+        def start(op: LogicalOp) -> None:
+            if op.kind is OpKind.COMM:
+                self.comm.run(op.comm, op.comm_bytes,
+                              lambda name=op.name: finish(name))
+            else:
+                kernel = compute_kernel(
+                    op, self.harness.config.gpu, self.tiling,
+                    launch_overhead_ns=self.launch_overhead_ns)
+                self.harness.executor.launch_kernel(
+                    kernel, on_complete=lambda name=op.name: finish(name))
+
+        for op in graph.topo_order():
+            waiting[op.name] = len(op.deps)
+        for op in graph.topo_order():
+            if waiting[op.name] == 0:
+                start(op)
+
+    def run_graphs(self, graphs: List[Graph],
+                   on_done: Optional[Callable[[], None]] = None) -> None:
+        """Run graphs strictly in sequence (e.g. forward then backward)."""
+        if not graphs:
+            raise WorkloadError("no graphs to run")
+
+        def chain(index: int) -> None:
+            if index == len(graphs):
+                if on_done is not None:
+                    on_done()
+                return
+            self.run_graph(graphs[index], on_done=lambda: chain(index + 1))
+
+        chain(0)

@@ -1,0 +1,169 @@
+"""Software compute-communication overlap baselines (CoCoNet / FuseLib).
+
+Both systems pipeline a GEMM with its *following* collective by splitting
+the GEMM output into row partitions: as soon as partition ``i``'s kernel
+finishes, the collective for that slice starts while partition ``i+1`` is
+still computing (CoCoNet's software scheduling [19]; FuseLib fuses the two
+into one persistent kernel, removing launch overheads [44]).
+
+Two costs distinguish them from hardware approaches, both modelled here:
+
+* **SM contention** — the communication kernels occupy SMs, shrinking the
+  compute pool (``Harness.restrict_compute_slots``);
+* **launch overhead** — CoCoNet launches one kernel per partition;
+  FuseLib's fused kernel pays it once.
+
+Neither overlaps a collective with the *following* GEMM (AG -> GEMM runs
+as a barrier), which is exactly the flexibility the paper credits CAIS
+with (Section V-A-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from ..common.errors import WorkloadError
+from ..gpu.kernels import KernelInstance
+from ..llm.graph import CommKind, Graph, LogicalOp, OpKind
+from ..llm.tiling import TilingConfig, ceil_div, compute_kernel
+from .base import CommImpl, Harness
+
+#: Row partitions used for GEMM->collective pipelining.
+DEFAULT_PARTITIONS = 4
+
+
+class OverlapRunner:
+    """Chunked GEMM -> collective pipelining with barrier fallback."""
+
+    def __init__(self, harness: Harness, comm: CommImpl,
+                 tiling: Optional[TilingConfig] = None,
+                 partitions: int = DEFAULT_PARTITIONS,
+                 launch_overhead_ns: Optional[float] = None):
+        if partitions < 1:
+            raise WorkloadError(f"partitions must be >= 1: {partitions}")
+        self.harness = harness
+        self.comm = comm
+        self.tiling = tiling or TilingConfig()
+        self.partitions = partitions
+        self.launch_overhead_ns = (
+            harness.config.gpu.kernel_launch_overhead_ns
+            if launch_overhead_ns is None else launch_overhead_ns)
+
+    # ------------------------------------------------------------------
+    def run_graph(self, graph: Graph,
+                  on_done: Optional[Callable[[], None]] = None) -> None:
+        absorbed = self._absorbed_comms(graph)
+        done: Dict[str, bool] = {op.name: False for op in graph.ops()}
+        waiting = {op.name: len(op.deps) for op in graph.ops()}
+        pending = {"count": len(done)}
+
+        def finish(name: str) -> None:
+            done[name] = True
+            pending["count"] -= 1
+            if pending["count"] == 0 and on_done is not None:
+                on_done()
+                return
+            for consumer in graph.consumers_of(name):
+                waiting[consumer.name] -= 1
+                if waiting[consumer.name] == 0:
+                    start(consumer)
+
+        def start(op: LogicalOp) -> None:
+            if op.name in absorbed.values():
+                return               # driven by its producer GEMM
+            if op.name in absorbed:
+                self._start_pipelined(graph, op, absorbed[op.name], finish)
+                return
+            if op.kind is OpKind.COMM:
+                self.comm.run(op.comm, op.comm_bytes,
+                              lambda name=op.name: finish(name))
+                return
+            kernel = compute_kernel(op, self.harness.config.gpu, self.tiling,
+                                    launch_overhead_ns=self.launch_overhead_ns)
+            self.harness.executor.launch_kernel(
+                kernel, on_complete=lambda name=op.name: finish(name))
+
+        for op in graph.topo_order():
+            if waiting[op.name] == 0:
+                start(op)
+
+    def run_graphs(self, graphs: List[Graph],
+                   on_done: Optional[Callable[[], None]] = None) -> None:
+        if not graphs:
+            raise WorkloadError("no graphs to run")
+
+        def chain(index: int) -> None:
+            if index == len(graphs):
+                if on_done is not None:
+                    on_done()
+                return
+            self.run_graph(graphs[index], on_done=lambda: chain(index + 1))
+
+        chain(0)
+
+    # ------------------------------------------------------------------
+    def _absorbed_comms(self, graph: Graph) -> Dict[str, str]:
+        """Map producer GEMM name -> collective it pipelines with."""
+        pairs: Dict[str, str] = {}
+        for op in graph.ops():
+            if op.kind is not OpKind.COMM:
+                continue
+            if op.comm not in (CommKind.ALL_REDUCE,
+                               CommKind.REDUCE_SCATTER):
+                continue             # AG -> GEMM is NOT overlapped here
+            if len(op.deps) != 1:
+                continue
+            producer = graph[op.deps[0]]
+            if producer.kind is OpKind.GEMM and producer.name not in pairs:
+                pairs[producer.name] = op.name
+        return pairs
+
+    def _start_pipelined(self, graph: Graph, gemm_op: LogicalOp,
+                         comm_name: str,
+                         finish: Callable[[str], None]) -> None:
+        comm_op = graph[comm_name]
+        shape = gemm_op.gemm
+        tile = self.tiling.tile
+        partitions = min(self.partitions, max(1, ceil_div(shape.m, tile)))
+        rows = ceil_div(ceil_div(shape.m, tile), partitions)
+        grid = (rows, ceil_div(shape.n, tile))
+        k = self.harness.config.num_gpus
+        per_slice = (comm_op.comm_bytes // partitions) // k * k
+        slices = [per_slice] * (partitions - 1)
+        slices.append(comm_op.comm_bytes - per_slice * (partitions - 1))
+        state = {"kernels": partitions, "comms": partitions}
+
+        def kernel_done(index: int) -> None:
+            self.comm.run(comm_op.comm, slices[index],
+                          lambda: comm_done())
+            state["kernels"] -= 1
+            if state["kernels"] == 0:
+                finish(gemm_op.name)
+
+        def comm_done() -> None:
+            state["comms"] -= 1
+            if state["comms"] == 0:
+                finish(comm_name)
+
+        base = compute_kernel(gemm_op, self.harness.config.gpu, self.tiling,
+                              launch_overhead_ns=self.launch_overhead_ns)
+        tb_ns = base.tb_pre_ns
+
+        def launch_partition(index: int) -> None:
+            # Partitions run strictly in sequence: partition i's collective
+            # slice overlaps partition i+1's compute (the software
+            # pipeline); launching them all at once would finish them all
+            # at once and serialize every collective at the end.
+            kernel = KernelInstance(
+                name=f"{gemm_op.name}.p{index}", grid=grid, tb_pre_ns=tb_ns,
+                launch_overhead_ns=self.launch_overhead_ns)
+
+            def done(i=index) -> None:
+                kernel_done(i)
+                if i + 1 < partitions:
+                    launch_partition(i + 1)
+
+            self.harness.executor.launch_kernel(kernel, on_complete=done)
+
+        launch_partition(0)

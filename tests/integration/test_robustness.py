@@ -1,0 +1,92 @@
+"""Robustness / failure-injection tests.
+
+CAIS's coordination and the merge unit must stay live and correct under
+conditions the steady-state experiments never hit: extreme scheduler skew,
+straggler GPUs, a single switch plane, minimal GPU counts, and starved
+merge tables.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import JitterSpec, dgx_h100_config
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import sublayer_graph
+from repro.systems import make_system
+
+TILING = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+
+def run_cais(config, scale=0.125, which="L1", system="CAIS"):
+    model = LLAMA_7B.scaled(scale)
+    graph = sublayer_graph(model, config.num_gpus, which)
+    return make_system(system, config, tiling=TILING).run([graph])
+
+
+def test_extreme_scheduler_skew_still_completes():
+    """50 us launch skew (25x default) forces the sync-table timeouts to
+    carry forward progress; the run must still complete correctly."""
+    cfg = dgx_h100_config()
+    cfg = replace(cfg, jitter=JitterSpec(tb_jitter=0.3,
+                                         gpu_skew_ns=50_000.0,
+                                         dispatch_shuffle_window=128))
+    res = run_cais(cfg)
+    assert res.tbs_completed > 0
+    assert res.merge_stats.sessions_completed > 0
+
+
+def test_extreme_skew_costs_but_does_not_break():
+    cfg = dgx_h100_config()
+    skewed = replace(cfg, jitter=JitterSpec(tb_jitter=0.3,
+                                            gpu_skew_ns=50_000.0,
+                                            dispatch_shuffle_window=128))
+    base = run_cais(cfg).makespan_ns
+    slow = run_cais(skewed).makespan_ns
+    assert slow > base * 0.9          # may hide some skew, never free
+    assert slow < base * 3.0          # bounded degradation, no livelock
+
+
+def test_single_switch_plane():
+    """All traffic through one plane: quarter the fabric bandwidth."""
+    cfg = dgx_h100_config()
+    cfg = replace(cfg, num_switches=1)
+    res = run_cais(cfg)
+    assert res.tbs_completed > 0
+    four = run_cais(dgx_h100_config()).makespan_ns
+    assert res.makespan_ns > four     # less bandwidth must cost time
+
+
+def test_two_gpu_minimum():
+    cfg = dgx_h100_config(num_gpus=2)
+    res = run_cais(cfg)
+    assert res.tbs_completed > 0
+    assert res.merge_stats.sessions_completed > 0
+
+
+def test_starved_merge_table_is_slow_but_live():
+    """A 2-entry table cannot hold a single reduction sub-chunk session:
+    everything bypasses or evicts, and the run must still finish."""
+    cfg = dgx_h100_config().with_merge_entries(2)
+    res = run_cais(cfg)
+    assert res.tbs_completed > 0
+    summary = res.merge_stats.summary()
+    assert summary["bypasses"] + summary["lru_evictions"] + \
+        summary["timeout_evictions"] > 0
+
+
+def test_all_sublayers_under_all_cais_variants():
+    cfg = dgx_h100_config()
+    for which in ("L2", "L3", "L4"):
+        for system in ("CAIS", "CAIS-Base", "CAIS-w/o-Coord"):
+            res = run_cais(cfg, which=which, system=system)
+            assert res.tbs_completed > 0, (which, system)
+
+
+def test_zero_jitter_configuration():
+    cfg = dgx_h100_config()
+    cfg = replace(cfg, jitter=JitterSpec(tb_jitter=0.0, gpu_skew_ns=0.0,
+                                         dispatch_shuffle_window=1))
+    res = run_cais(cfg)
+    assert res.tbs_completed > 0

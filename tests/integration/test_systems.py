@@ -1,0 +1,160 @@
+"""Integration tests: every system end-to-end on a scaled sub-layer.
+
+These check the paper's *shape*: who wins, rough ordering, and that the
+CAIS ablation variants line up (Base < Partial < full).  Absolute numbers
+use a heavily scaled workload so the whole module runs in well under a
+minute; the benchmarks regenerate the full-size figures.
+"""
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import sublayer_graph, sp_forward_layer
+from repro.systems import SYSTEM_CLASSES, make_system
+
+SCALE = 0.125
+TILING = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+BASIC_STYLE = {"TP-NVLS", "CoCoNet", "FuseLib", "CoCoNet-NVLS",
+               "FuseLib-NVLS", "LADM"}
+
+
+@pytest.fixture(scope="module")
+def results():
+    model = LLAMA_7B.scaled(SCALE)
+    cfg = dgx_h100_config()
+    sp = sublayer_graph(model, 8, "L1")
+    basic = sublayer_graph(model, 8, "L1", style="basic")
+    out = {}
+    for name in SYSTEM_CLASSES:
+        graph = basic if name in BASIC_STYLE else sp
+        out[name] = make_system(name, cfg, tiling=TILING).run([graph])
+    return out
+
+
+def test_all_systems_complete(results):
+    for name, res in results.items():
+        assert res.makespan_ns > 0, name
+        assert res.tbs_completed > 0, name
+
+
+def test_cais_beats_every_baseline(results):
+    cais = results["CAIS"].makespan_ns
+    for name in ("TP-NVLS", "SP-NVLS", "CoCoNet", "FuseLib", "T3",
+                 "CoCoNet-NVLS", "FuseLib-NVLS", "LADM"):
+        assert results[name].makespan_ns > cais, name
+
+
+def test_speedup_over_tp_nvls_in_paper_range(results):
+    """Paper Fig. 12: 1.39x geomean over TP-NVLS on sub-layers."""
+    ratio = results["TP-NVLS"].makespan_ns / results["CAIS"].makespan_ns
+    assert 1.1 < ratio < 2.2
+
+
+def test_overlap_without_nvls_loses_to_nvls_barriers(results):
+    """Paper: CoCoNet/FuseLib (ring transport) fall behind NVLS systems."""
+    assert results["CoCoNet"].makespan_ns > results["TP-NVLS"].makespan_ns
+    assert results["FuseLib"].makespan_ns > results["TP-NVLS"].makespan_ns
+
+
+def test_nvls_variants_improve_their_bases(results):
+    assert (results["CoCoNet-NVLS"].makespan_ns <
+            results["CoCoNet"].makespan_ns)
+    assert (results["FuseLib-NVLS"].makespan_ns <
+            results["FuseLib"].makespan_ns)
+    # T3 vs T3-NVLS nearly tie at this tiny scale; the gap opens at the
+    # default experiment scale (paper: 1.64 vs 1.47 behind CAIS).
+    assert (results["T3-NVLS"].makespan_ns <
+            results["T3"].makespan_ns * 1.02)
+
+
+def test_ladm_is_the_extreme_loser(results):
+    """Paper: 7.6-7.9x behind CAIS — far behind everything else."""
+    ladm = results["LADM"].makespan_ns
+    for name, res in results.items():
+        if name != "LADM":
+            assert ladm > res.makespan_ns, name
+    assert ladm / results["CAIS"].makespan_ns > 2.5
+
+
+def test_cais_ablation_ordering(results):
+    """Base (ISA only) < Partial (+optimizer) < full (+traffic control)."""
+    assert (results["CAIS-Base"].makespan_ns >
+            results["CAIS-Partial"].makespan_ns)
+    assert (results["CAIS-Partial"].makespan_ns >=
+            results["CAIS"].makespan_ns * 0.98)
+    assert results["CAIS-Base"].makespan_ns > results["CAIS"].makespan_ns
+
+
+def test_coordination_helps(results):
+    assert (results["CAIS-w/o-Coord"].makespan_ns >
+            results["CAIS"].makespan_ns * 0.99)
+
+
+def test_bandwidth_utilization_sane(results):
+    """All utilizations are valid fractions; the Fig. 15 Base < Partial <
+    CAIS ordering is asserted at larger scale in the Fig. 15 benchmark
+    (at this tiny scale the eviction-traffic noise swamps the ~2% gaps)."""
+    for name, res in results.items():
+        util = res.average_bandwidth_utilization()
+        assert 0.0 < util <= 1.0, name
+    # CAIS keeps its links at least as busy per unit time as Base, within
+    # noise.
+    assert (results["CAIS"].average_bandwidth_utilization() >
+            0.9 * results["CAIS-Base"].average_bandwidth_utilization())
+
+
+def test_gpu_utilization_drops_under_nvls_barriers(results):
+    """Paper Section II-C: 'GPU utilization can drop below 60%, even when
+    NVLS is enabled' — and CAIS's overlap recovers a good part of it."""
+    assert results["SP-NVLS"].gpu_utilization < 0.6
+    assert results["TP-NVLS"].gpu_utilization < 0.6
+    assert (results["CAIS"].gpu_utilization >
+            results["SP-NVLS"].gpu_utilization)
+
+
+def test_timeline_shows_fused_overlap(results):
+    """Under CAIS the producer GEMM, LN and consumer GEMM run concurrently
+    (Fig. 9d); under the barrier baseline they cannot."""
+    cais = results["CAIS"].timeline
+    assert cais.overlap_ns("gemm1", "gemm2") > 0
+    barrier = results["SP-NVLS"].timeline
+    assert barrier.overlap_ns("gemm1", "gemm2") == 0.0
+
+
+def test_merge_stats_present_for_cais_only(results):
+    assert results["CAIS"].merge_stats is not None
+    assert results["CAIS"].merge_stats.sessions_completed > 0
+    assert results["TP-NVLS"].merge_stats is None
+
+
+def test_runs_are_reproducible():
+    model = LLAMA_7B.scaled(SCALE)
+    cfg = dgx_h100_config()
+    graph = sublayer_graph(model, 8, "L1")
+    a = make_system("CAIS", cfg, tiling=TILING).run([graph])
+    b = make_system("CAIS", cfg, tiling=TILING).run([graph])
+    assert a.makespan_ns == b.makespan_ns
+    assert a.events == b.events
+
+
+def test_seed_changes_makespan_slightly():
+    model = LLAMA_7B.scaled(SCALE)
+    graph = sublayer_graph(model, 8, "L1")
+    a = make_system("CAIS", dgx_h100_config(seed=1), tiling=TILING).run(
+        [graph])
+    b = make_system("CAIS", dgx_h100_config(seed=2), tiling=TILING).run(
+        [graph])
+    assert a.makespan_ns != b.makespan_ns
+    assert abs(a.makespan_ns - b.makespan_ns) / a.makespan_ns < 0.15
+
+
+def test_full_layer_graph_runs_under_cais():
+    model = LLAMA_7B.scaled(SCALE)
+    cfg = dgx_h100_config()
+    graph = sp_forward_layer(model, 8)
+    res = make_system("CAIS", cfg, tiling=TILING).run([graph])
+    assert res.makespan_ns > 0
+    assert res.tbs_completed > 1000

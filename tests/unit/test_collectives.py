@@ -1,0 +1,183 @@
+"""Unit tests for ring and NVLS collectives, including functional payloads."""
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.events import Simulator
+from repro.collectives.nvls_collectives import NvlsCollective
+from repro.collectives.reference import (
+    nvls_allreduce_busbw_gbps, nvls_allreduce_time_ns,
+    ring_all_gather_time_ns, ring_allreduce_time_ns,
+    ring_reduce_scatter_time_ns)
+from repro.collectives.ring import RingCollective
+from repro.common.errors import WorkloadError
+from repro.gpu.executor import Executor
+from repro.interconnect.network import Network
+from repro.nvls.engine import NvlsEngine
+
+
+def make_fabric(num_gpus=4, num_switches=2, nvls=False, chunk=65536):
+    sim = Simulator()
+    cfg = dgx_h100_config(num_gpus=num_gpus)
+    cfg = cfg.__class__(**{**cfg.__dict__, "num_gpus": num_gpus,
+                           "num_switches": num_switches})
+    net = Network(sim, cfg)
+    ex = Executor(sim, cfg, net, jitter_enabled=False)
+    if nvls:
+        for sw in net.switches:
+            sw.attach_engine(NvlsEngine())
+    return sim, cfg, net, ex
+
+
+def values(gpu, shard, chunk):
+    """Deterministic functional payloads: value = gpu+1, per chunk."""
+    return float(gpu + 1)
+
+
+class TestRingCollectives:
+    def test_reduce_scatter_completes_and_sums(self):
+        sim, cfg, net, ex = make_fabric()
+        ring = RingCollective(net, ex.gpus, chunk_bytes=65536)
+        done = []
+        reduced = []
+        ring.reduce_scatter(1 << 20, on_complete=lambda: done.append(1),
+                            on_chunk=lambda s, c, g: reduced.append((s, g)),
+                            local_values=values)
+        sim.run()
+        assert done == [1]
+        # Every shard lands exactly at its home GPU.
+        assert sorted(set(reduced)) == [(s, s) for s in range(4)]
+
+    def test_reduce_scatter_chunk_count(self):
+        sim, cfg, net, ex = make_fabric()
+        ring = RingCollective(net, ex.gpus, chunk_bytes=65536)
+        chunks = []
+        ring.reduce_scatter(1 << 20, on_complete=lambda: None,
+                            on_chunk=lambda s, c, g: chunks.append((s, c)))
+        sim.run()
+        # 1 MiB over 4 GPUs = 256 KiB shard = 4 chunks of 64 KiB.
+        assert len(chunks) == 16
+
+    def test_all_gather_distributes_all_shards(self):
+        sim, cfg, net, ex = make_fabric()
+        ring = RingCollective(net, ex.gpus, chunk_bytes=65536)
+        got = []
+        ring.all_gather(1 << 20, on_complete=lambda: None,
+                        on_chunk=lambda s, c, g: got.append((s, g)))
+        sim.run()
+        # Each GPU receives the 3 foreign shards.
+        for g in range(4):
+            foreign = {s for s, gg in got if gg == g}
+            assert foreign == set(range(4)) - {g}
+
+    def test_all_reduce_time_close_to_alpha_beta_model(self):
+        sim, cfg, net, ex = make_fabric(num_gpus=8, num_switches=4)
+        ring = RingCollective(net, ex.gpus, chunk_bytes=262144)
+        n = 64 << 20
+        rid = ring.all_reduce(n, on_complete=lambda: None)
+        sim.run()
+        model = ring_allreduce_time_ns(n, cfg)
+        assert ring.finish_time(rid) == pytest.approx(model, rel=0.35)
+
+    def test_ring_rejects_bad_sizes(self):
+        sim, cfg, net, ex = make_fabric()
+        ring = RingCollective(net, ex.gpus)
+        with pytest.raises(WorkloadError):
+            ring.reduce_scatter(3, on_complete=lambda: None)
+        with pytest.raises(WorkloadError):
+            ring.all_gather(0, on_complete=lambda: None)
+
+    def test_concurrent_runs_do_not_interfere(self):
+        sim, cfg, net, ex = make_fabric()
+        ring = RingCollective(net, ex.gpus, chunk_bytes=65536)
+        done = []
+        ring.reduce_scatter(1 << 20, on_complete=lambda: done.append("rs"))
+        ring.all_gather(1 << 20, on_complete=lambda: done.append("ag"))
+        sim.run()
+        assert sorted(done) == ["ag", "rs"]
+
+
+class TestNvlsCollectives:
+    def test_reduce_scatter_pull_sums_peers_plus_local(self):
+        sim, cfg, net, ex = make_fabric(nvls=True)
+        coll = NvlsCollective(net, ex.gpus, chunk_bytes=65536,
+                              local_values=values)
+        # Peers hold gpu+1; the switch sums peers, the home adds its own.
+        done = []
+        coll.reduce_scatter(1 << 20, on_complete=lambda: done.append(1))
+        sim.run()
+        assert done == [1]
+
+    def test_all_gather_push_reaches_every_peer(self):
+        sim, cfg, net, ex = make_fabric(nvls=True)
+        coll = NvlsCollective(net, ex.gpus, chunk_bytes=65536)
+        got = []
+        coll.all_gather(1 << 20, on_complete=lambda: None,
+                        on_chunk=lambda s, c, g: got.append((s, g)))
+        sim.run()
+        for g in range(4):
+            assert {s for s, gg in got if gg == g} == set(range(4)) - {g}
+
+    def test_all_reduce_one_shot_completes(self):
+        sim, cfg, net, ex = make_fabric(nvls=True)
+        coll = NvlsCollective(net, ex.gpus, chunk_bytes=65536,
+                              local_values=values)
+        done = []
+        rid = coll.all_reduce(1 << 20, on_complete=lambda: done.append(1))
+        sim.run()
+        assert done == [1]
+        assert coll.finish_time(rid) > 0
+
+    def test_nvls_beats_ring_on_large_messages(self):
+        """The headline NVLS property the paper leans on (2-8x)."""
+        n = 256 << 20
+        sim, cfg, net, ex = make_fabric(num_gpus=8, num_switches=4,
+                                        nvls=True)
+        coll = NvlsCollective(net, ex.gpus, chunk_bytes=256 << 10)
+        rid = coll.all_reduce(n, on_complete=lambda: None)
+        sim.run()
+        t_nvls = coll.finish_time(rid)
+
+        sim2, cfg2, net2, ex2 = make_fabric(num_gpus=8, num_switches=4)
+        ring = RingCollective(net2, ex2.gpus, chunk_bytes=256 << 10)
+        rid2 = ring.all_reduce(n, on_complete=lambda: None)
+        sim2.run()
+        t_ring = ring.finish_time(rid2)
+        assert t_ring / t_nvls > 1.5
+
+    def test_nvls_rejects_bad_sizes(self):
+        sim, cfg, net, ex = make_fabric(nvls=True)
+        coll = NvlsCollective(net, ex.gpus)
+        with pytest.raises(WorkloadError):
+            coll.all_reduce(7, on_complete=lambda: None)
+
+
+class TestReferenceModels:
+    def test_monotone_in_size(self):
+        cfg = dgx_h100_config()
+        assert (ring_allreduce_time_ns(2 << 20, cfg) >
+                ring_allreduce_time_ns(1 << 20, cfg))
+        assert (nvls_allreduce_time_ns(2 << 20, cfg) >
+                nvls_allreduce_time_ns(1 << 20, cfg))
+
+    def test_nvls_faster_than_ring_at_scale(self):
+        cfg = dgx_h100_config()
+        n = 1 << 30
+        assert (nvls_allreduce_time_ns(n, cfg) <
+                ring_allreduce_time_ns(n, cfg))
+
+    def test_rs_ag_symmetry(self):
+        cfg = dgx_h100_config()
+        assert (ring_reduce_scatter_time_ns(1 << 26, cfg) ==
+                ring_all_gather_time_ns(1 << 26, cfg))
+
+    def test_busbw_saturates_with_size(self):
+        cfg = dgx_h100_config()
+        small = nvls_allreduce_busbw_gbps(1 << 20, cfg)
+        large = nvls_allreduce_busbw_gbps(8 << 30, cfg)
+        assert large > small
+
+    def test_invalid_inputs(self):
+        cfg = dgx_h100_config()
+        with pytest.raises(WorkloadError):
+            ring_allreduce_time_ns(0, cfg)

@@ -1,0 +1,131 @@
+"""Unit tests for the CAIS compiler: IR, invariance analysis, grouping."""
+
+import pytest
+
+from repro.cais.compiler import (
+    BlockIdx, BinOp, CompiledKernel, Const, Env, GpuId, KernelIR, MemInstr,
+    MemOpKind, Param, compile_kernel, reset_group_ids)
+from repro.common.errors import WorkloadError
+
+
+@pytest.fixture(autouse=True)
+def fresh_groups():
+    reset_group_ids()
+
+
+class TestExpr:
+    def test_const_and_arith(self):
+        e = Const(3) * 4 + 2
+        assert e.evaluate(Env()) == 14
+        assert not e.references_gpu_id()
+
+    def test_block_idx_dims(self):
+        env = Env(block_idx=(5, 7))
+        assert BlockIdx(0).evaluate(env) == 5
+        assert BlockIdx(1).evaluate(env) == 7
+
+    def test_block_idx_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            BlockIdx(2).evaluate(Env(block_idx=(1,)))
+
+    def test_gpu_id_reference_propagates(self):
+        e = (BlockIdx(0) + GpuId()) * 128
+        assert e.references_gpu_id()
+        assert e.evaluate(Env(block_idx=(2,), gpu_id=3)) == 640
+
+    def test_param_lookup(self):
+        e = Param("tile") * BlockIdx(0)
+        assert e.evaluate(Env(block_idx=(3,), params={"tile": 256})) == 768
+
+    def test_unbound_param_raises(self):
+        with pytest.raises(WorkloadError):
+            Param("missing").evaluate(Env())
+
+    def test_div_mod(self):
+        e = BlockIdx(0) // 4
+        m = BlockIdx(0) % 4
+        env = Env(block_idx=(10,))
+        assert e.evaluate(env) == 2
+        assert m.evaluate(env) == 2
+
+    def test_unsupported_operator_rejected(self):
+        with pytest.raises(WorkloadError):
+            BinOp("-", Const(1), Const(2))
+
+
+class TestAnalysis:
+    def make_kernel(self, instrs, grid=(4,)):
+        return KernelIR(name="k", grid=grid, mem_instrs=tuple(instrs))
+
+    def test_gpu_invariant_load_becomes_cais(self):
+        # Address = blockIdx * tile: identical on every GPU => mergeable.
+        instr = MemInstr(MemOpKind.LOAD, home_expr=BlockIdx(0) % 4,
+                         offset_expr=BlockIdx(0) * 4096, chunk_bytes=4096)
+        ck = compile_kernel(self.make_kernel([instr]))
+        assert len(ck.mergeable) == 1
+        assert ck.mergeable[0].kind is MemOpKind.LOAD_CAIS
+        assert not ck.non_mergeable
+        assert ck.uses_cais
+
+    def test_gpu_dependent_access_left_untouched(self):
+        instr = MemInstr(MemOpKind.LOAD, home_expr=GpuId(),
+                         offset_expr=BlockIdx(0) * 4096, chunk_bytes=4096)
+        ck = compile_kernel(self.make_kernel([instr]))
+        assert not ck.mergeable
+        assert len(ck.non_mergeable) == 1
+        assert ck.non_mergeable[0].kind is MemOpKind.LOAD
+        assert not ck.groups
+
+    def test_reduce_rewrites_to_red_cais(self):
+        instr = MemInstr(MemOpKind.REDUCE, home_expr=Const(2),
+                         offset_expr=BlockIdx(0) * 128, chunk_bytes=128)
+        ck = compile_kernel(self.make_kernel([instr]))
+        assert ck.mergeable[0].kind is MemOpKind.REDUCE_CAIS
+
+    def test_groups_follow_referenced_dims_only(self):
+        # Address depends only on blockIdx.x: all column tiles of a row
+        # access the same region and share one group (Fig. 7b).
+        instr = MemInstr(MemOpKind.LOAD, home_expr=Const(0),
+                         offset_expr=BlockIdx(0), chunk_bytes=128)
+        ck = compile_kernel(self.make_kernel([instr], grid=(2, 3)))
+        assert len(ck.groups) == 2
+        assert set(ck.group_by_block) == {(i, j)
+                                          for i in range(2) for j in range(3)}
+        assert (ck.group_by_block[(0, 0)].group_id ==
+                ck.group_by_block[(0, 2)].group_id)
+        assert (ck.group_by_block[(0, 0)].group_id !=
+                ck.group_by_block[(1, 0)].group_id)
+
+    def test_groups_per_tile_when_both_dims_referenced(self):
+        instr = MemInstr(MemOpKind.REDUCE, home_expr=Const(0),
+                         offset_expr=BlockIdx(0) * 1024 + BlockIdx(1) * 64,
+                         chunk_bytes=64)
+        ck = compile_kernel(self.make_kernel([instr], grid=(2, 3)))
+        assert len(ck.groups) == 6
+
+    def test_group_ids_unique_across_kernels(self):
+        instr = MemInstr(MemOpKind.LOAD, home_expr=Const(0),
+                         offset_expr=BlockIdx(0), chunk_bytes=128)
+        ck1 = compile_kernel(self.make_kernel([instr], grid=(2,)))
+        ck2 = compile_kernel(self.make_kernel([instr], grid=(2,)))
+        ids = [g.group_id for g in ck1.groups + ck2.groups]
+        assert len(ids) == len(set(ids))
+
+    def test_invalid_grid_rejected(self):
+        instr = MemInstr(MemOpKind.LOAD, home_expr=Const(0),
+                         offset_expr=BlockIdx(0), chunk_bytes=128)
+        with pytest.raises(WorkloadError):
+            compile_kernel(self.make_kernel([instr], grid=(0,)))
+
+    def test_mixed_instructions_split(self):
+        inv = MemInstr(MemOpKind.REDUCE, home_expr=BlockIdx(0) % 8,
+                       offset_expr=BlockIdx(0) * 128, chunk_bytes=128)
+        dep = MemInstr(MemOpKind.LOAD, home_expr=(GpuId() + 1) % 8,
+                       offset_expr=BlockIdx(0) * 128, chunk_bytes=128)
+        ck = compile_kernel(self.make_kernel([inv, dep]))
+        assert len(ck.mergeable) == 1 and len(ck.non_mergeable) == 1
+
+    def test_cais_kind_is_idempotent(self):
+        assert MemOpKind.LOAD_CAIS.to_cais() is MemOpKind.LOAD_CAIS
+        assert MemOpKind.LOAD_CAIS.is_cais
+        assert not MemOpKind.LOAD.is_cais

@@ -1,0 +1,127 @@
+"""Validation of the flit-level crossbar, and cross-checks against the
+message-granular fabric approximation."""
+
+import pytest
+
+from repro.common.config import LinkSpec, SwitchSpec
+from repro.common.errors import SimulationError
+from repro.common.events import Simulator
+from repro.interconnect.crossbar import CrossbarSwitch
+
+LINK = LinkSpec(bandwidth_gbps=16.0, latency_ns=0.0)
+
+
+def make(num_ports=4, num_vcs=8, vc_depth=256):
+    sim = Simulator()
+    spec = SwitchSpec(num_vcs=num_vcs, vc_depth=vc_depth)
+    xbar = CrossbarSwitch(sim, spec, LINK, num_ports)
+    delivered = []
+    for p in range(num_ports):
+        xbar.set_delivery(p, delivered.append)
+    return sim, xbar, delivered
+
+
+def test_single_flow_latency_matches_serialization():
+    """One message through an idle crossbar serializes at the link rate —
+    the quantity the message-granular fabric charges as wire time."""
+    sim, xbar, delivered = make()
+    nbytes = 1024
+    msg = xbar.inject(0, 1, nbytes)
+    sim.run()
+    assert len(delivered) == 1
+    flits = nbytes // LINK.flit_bytes
+    # Pipeline: one extra cycle for injection fill, then one flit/cycle.
+    expected = (flits + 1) * xbar.cycle_ns
+    assert msg.deliver_time == pytest.approx(expected, rel=0.05)
+
+
+def test_output_contention_halves_each_flow():
+    """Two inputs to one output share it fairly (RR arbitration)."""
+    sim, xbar, delivered = make()
+    a = xbar.inject(0, 2, 4096)
+    b = xbar.inject(1, 2, 4096)
+    sim.run()
+    assert len(delivered) == 2
+    # Interleaved one-flit-per-cycle: both finish ~2x the solo time and
+    # within one cycle of each other.
+    solo_cycles = 4096 // LINK.flit_bytes
+    for msg in (a, b):
+        assert msg.deliver_time == pytest.approx(
+            2 * solo_cycles * xbar.cycle_ns, rel=0.1)
+    assert abs(a.deliver_time - b.deliver_time) <= 2 * xbar.cycle_ns
+
+
+def test_permutation_traffic_full_throughput():
+    """A perfect matching keeps every port busy: no crossbar bottleneck."""
+    sim, xbar, delivered = make(num_ports=4)
+    msgs = [xbar.inject(p, (p + 1) % 4, 2048) for p in range(4)]
+    sim.run()
+    solo = (2048 // LINK.flit_bytes + 1) * xbar.cycle_ns
+    for msg in msgs:
+        assert msg.deliver_time <= solo * 1.1
+
+
+def test_virtual_channels_bypass_head_of_line_blocking():
+    """The paper's VC rationale: with one VC, a flow stuck behind a
+    congested output delays an independent flow from the same input; with
+    separate VCs it does not."""
+    def run(num_vcs, vcs):
+        sim, xbar, delivered = make(num_ports=4, num_vcs=num_vcs,
+                                    vc_depth=8)
+        # Saturate output 1 from input 3 so input 0's traffic to output 1
+        # backs up inside input 0's buffers.
+        for _ in range(4):
+            xbar.inject(3, 1, 4096, vc=0)
+        xbar.inject(0, 1, 4096, vc=vcs[0])     # contended flow
+        victim = xbar.inject(0, 2, 512, vc=vcs[1])   # independent flow
+        sim.run()
+        return victim.deliver_time
+
+    blocked = run(1, (0, 0))
+    bypassed = run(2, (0, 1))
+    assert bypassed < blocked * 0.6
+
+
+def test_finite_vc_depth_backpressure():
+    sim, xbar, delivered = make(num_ports=2, num_vcs=1, vc_depth=4)
+    xbar.inject(0, 1, 16 * 64)    # 64 flits >> 4-deep VC
+    sim.run()
+    assert len(delivered) == 1    # completes despite the tiny buffer
+
+
+def test_bad_ports_rejected():
+    sim, xbar, delivered = make()
+    with pytest.raises(SimulationError):
+        xbar.inject(0, 9, 64)
+    with pytest.raises(SimulationError):
+        xbar.inject(0, 1, 64, vc=99)
+
+
+def test_cross_model_bandwidth_agreement():
+    """Fidelity cross-check: for a bandwidth-bound many-to-one pattern the
+    message-granular Link model and the flit-level crossbar agree on the
+    transfer time within a few percent."""
+    from repro.interconnect.link import Link
+    from repro.interconnect.message import Message, Op, gpu_node
+
+    nbytes, senders = 8192, 3
+    # Flit-level: three inputs stream to one output.
+    sim, xbar, delivered = make(num_ports=4)
+    msgs = [xbar.inject(p, 3, nbytes) for p in range(senders)]
+    sim.run()
+    flit_time = max(m.deliver_time for m in msgs)
+
+    # Message-granular: the same bytes serialized on one output link.
+    sim2 = Simulator()
+    link = Link(sim2, LINK, "out")
+    done = []
+    link.deliver = lambda m: done.append(sim2.now)
+    for _ in range(senders):
+        link.send(Message(Op.STORE, gpu_node(0), gpu_node(1),
+                          payload_bytes=nbytes))
+    sim2.run()
+    msg_time = max(done)
+    # The Link model charges flit headers per 128 B packet; the crossbar
+    # run above carries payload flits only — compare against its payload
+    # serialization plus that overhead factor.
+    assert flit_time * 1.125 == pytest.approx(msg_time, rel=0.08)

@@ -1,0 +1,155 @@
+"""Unit tests for the graph-level dataflow optimizer (chain detection and
+fused lowering paths)."""
+
+import pytest
+
+from repro.cais import compiler as cais_compiler
+from repro.cais.dataflow import CaisRunner, FusedChain, find_chains
+from repro.common.config import dgx_h100_config
+from repro.common.errors import WorkloadError
+from repro.llm import tiling as llm_tiling
+from repro.llm.graph import CommKind, GemmShape, Graph, LogicalOp, OpKind
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import (
+    basic_forward_layer, sp_backward_layer, sp_forward_layer,
+    sublayer_graph)
+from repro.systems import Harness
+
+TILING = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+
+def fresh():
+    llm_tiling.reset_tensor_ids()
+    cais_compiler.reset_group_ids()
+
+
+class TestFindChains:
+    def test_sublayer_is_one_full_chain(self):
+        graph = sublayer_graph(LLAMA_7B, 8, "L1")
+        chains = find_chains(graph)
+        assert len(chains) == 1
+        chain = chains[0]
+        assert chain.gemm1 == "gemm1"
+        assert chain.rs == "rs"
+        assert chain.vectors == ["ln"]
+        assert chain.ag == "ag"
+        assert chain.gemm2s == ["gemm2"]
+
+    def test_sp_forward_layer_chains(self):
+        graph = sp_forward_layer(LLAMA_7B, 8)
+        chains = find_chains(graph)
+        by_comm = {}
+        for chain in chains:
+            for comm in (chain.rs, chain.ag, chain.ar):
+                if comm:
+                    by_comm[comm] = chain
+        # Every collective is claimed by exactly one chain.
+        assert set(by_comm) == {"ag1", "rs1", "ag2", "rs2"}
+        # rs1 chain absorbs dropadd1+ln2 and ends at ag2 -> ffn1.
+        chain = by_comm["rs1"]
+        assert chain.gemm1 == "proj"
+        assert chain.vectors == ["dropadd1", "ln2"]
+        assert chain.ag == "ag2"
+        assert chain.gemm2s == ["ffn1"]
+        # ag1 is a standalone AG chain fed by ln1.
+        assert by_comm["ag1"].rs is None
+        assert by_comm["ag1"].vectors == ["ln1"]
+        assert by_comm["ag1"].gemm2s == ["qkv"]
+        # rs2 is a terminal RS chain (dropadd2, no AG).
+        assert by_comm["rs2"].ag is None
+        assert by_comm["rs2"].vectors == ["dropadd2"]
+
+    def test_backward_layer_chains_cover_all_comms(self):
+        graph = sp_backward_layer(LLAMA_7B, 8)
+        chains = find_chains(graph)
+        comms = {c for chain in chains
+                 for c in (chain.rs, chain.ag, chain.ar) if c}
+        assert comms == {"ag_rs2", "rs_ag2", "ag_rs1", "rs_ag1"}
+        # ag_rs2 has two GEMM consumers (dgrad + wgrad).
+        ag_rs2 = next(c for c in chains if c.ag == "ag_rs2")
+        assert set(ag_rs2.gemm2s) == {"ffn2_dgrad", "ffn2_wgrad"}
+
+    def test_basic_layer_ar_chains(self):
+        graph = basic_forward_layer(LLAMA_7B, 8)
+        chains = find_chains(graph)
+        ars = [c for c in chains if c.ar]
+        assert {c.ar for c in ars} == {"ar1", "ar2"}
+        ar1 = next(c for c in ars if c.ar == "ar1")
+        assert ar1.gemm1 == "proj"
+        assert ar1.vectors == ["dropadd1", "ln2"]
+        assert ar1.gemm2s == ["ffn1"]
+
+    def test_members_unique_across_chains(self):
+        for graph in (sp_forward_layer(LLAMA_7B, 8),
+                      sp_backward_layer(LLAMA_7B, 8),
+                      basic_forward_layer(LLAMA_7B, 8)):
+            chains = find_chains(graph)
+            members = [m for c in chains for m in c.members()]
+            assert len(members) == len(set(members)), graph.name
+
+
+class TestCaisRunnerLowering:
+    def run_graph(self, graph, dataflow=True, coordination=True):
+        fresh()
+        harness = Harness(dgx_h100_config(), merge=True,
+                          sync_tables=coordination, traffic_control=True,
+                          fair_share=dataflow)
+        runner = CaisRunner(harness, tiling=TILING, dataflow=dataflow,
+                            coordination=coordination)
+        done = {"ok": False}
+        runner.run_graphs([graph], on_done=lambda: done.update(ok=True))
+        harness.executor.run()
+        assert done["ok"]
+        return harness
+
+    def test_sublayer_sp(self):
+        model = LLAMA_7B.scaled(0.125)
+        harness = self.run_graph(sublayer_graph(model, 8, "L1"))
+        assert harness.merge_stats.sessions_completed > 0
+
+    def test_sublayer_basic_ar(self):
+        model = LLAMA_7B.scaled(0.125)
+        harness = self.run_graph(
+            sublayer_graph(model, 8, "L1", style="basic"))
+        # AR lowering exercises BOTH read and write semantics: reduction
+        # sessions from the red.cais epilogue and load sessions from the
+        # replicated consumers' ld.cais reads.
+        summary = harness.merge_stats.summary()
+        assert summary["sessions_completed"] > 0
+
+    def test_ar_without_dataflow_uses_barriers(self):
+        model = LLAMA_7B.scaled(0.125)
+        fast = self.run_graph(
+            sublayer_graph(model, 8, "L1", style="basic"))
+        slow = self.run_graph(
+            sublayer_graph(model, 8, "L1", style="basic"),
+            dataflow=False, coordination=False)
+        assert slow.sim.now > fast.sim.now
+
+    def test_unfusable_collective_raises(self):
+        g = Graph("bad")
+        g.add(LogicalOp("v", OpKind.VECTOR, elements=1024))
+        g.add(LogicalOp("rs", OpKind.COMM, comm=CommKind.REDUCE_SCATTER,
+                        comm_bytes=1 << 20, deps=("v",)))
+        fresh()
+        harness = Harness(dgx_h100_config(), merge=True, sync_tables=True)
+        runner = CaisRunner(harness, tiling=TILING)
+        with pytest.raises(WorkloadError):
+            runner.run_graphs([g])
+            harness.executor.run()
+
+    def test_coordination_features_subset(self):
+        fresh()
+        harness = Harness(dgx_h100_config(), merge=True, sync_tables=True)
+        runner = CaisRunner(harness, tiling=TILING,
+                            coordination_features=frozenset({"prelaunch"}))
+        assert runner.features == frozenset({"prelaunch"})
+        assert harness.executor.tb_throttle is False
+
+    def test_empty_graph_list_rejected(self):
+        fresh()
+        harness = Harness(dgx_h100_config(), merge=True)
+        runner = CaisRunner(harness, tiling=TILING)
+        with pytest.raises(WorkloadError):
+            runner.run_graphs([])

@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.events import Simulator
+from repro.common.errors import SimulationError
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "late")
+    sim.schedule(5.0, fired.append, "early")
+    sim.schedule(7.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+    assert sim.now == 10.0
+
+
+def test_equal_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(3.0, fired.append, i)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_schedule_in_the_past_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(5.0, fired.append, "dead")
+    sim.schedule(6.0, fired.append, "alive")
+    ev.cancel()
+    sim.run()
+    assert fired == ["alive"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_events_scheduled_from_callbacks_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.schedule(50.0, fired.append, "b")
+    sim.run(until=10.0)
+    assert fired == ["a"]
+    assert sim.now == 10.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=123.0)
+    assert sim.now == 123.0
+
+
+def test_run_max_events_limits_work():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(42.0, fired.append, "x")
+    sim.run()
+    assert sim.now == 42.0 and fired == ["x"]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_drain_cancelled_compacts_queue():
+    sim = Simulator()
+    evs = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    for ev in evs[:8]:
+        ev.cancel()
+    sim.drain_cancelled()
+    assert sim.pending() == 2
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(1.0, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()

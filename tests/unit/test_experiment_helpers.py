@@ -1,0 +1,89 @@
+"""Unit tests for experiment-harness helpers and fast experiment paths."""
+
+import pytest
+
+from repro.collectives.reference import wire_efficiency
+from repro.common.config import dgx_h100_config
+from repro.experiments.runner import (
+    BASIC_STYLE_SYSTEMS, DEFAULT, FULL, QUICK, Scale, geomean,
+    layer_graphs, markdown_table, speedups_over, style_for, sublayer_for)
+from repro.experiments.fig17_scalability import scaled_model
+from repro.llm.models import LLAMA_7B
+
+
+class TestScale:
+    def test_presets(self):
+        assert QUICK.tokens_fraction == 0.125
+        assert DEFAULT.tokens_fraction == 0.25
+        assert FULL.tokens_fraction == 1.0
+
+    def test_apply_scales_tokens_only(self):
+        scaled = DEFAULT.apply(LLAMA_7B)
+        assert scaled.hidden == LLAMA_7B.hidden
+        assert scaled.seq_len == LLAMA_7B.seq_len // 4
+
+    def test_full_is_identity(self):
+        assert FULL.apply(LLAMA_7B) is LLAMA_7B
+
+
+class TestStyles:
+    def test_allreduce_systems_are_basic(self):
+        for name in ("TP-NVLS", "CoCoNet", "FuseLib", "LADM"):
+            assert style_for(name) == "basic"
+            assert name in BASIC_STYLE_SYSTEMS
+
+    def test_sp_systems(self):
+        for name in ("SP-NVLS", "T3", "T3-NVLS", "CAIS", "CAIS-Base"):
+            assert style_for(name) == "sp"
+
+    def test_layer_graphs_counts(self):
+        model = QUICK.apply(LLAMA_7B)
+        assert len(layer_graphs(model, 8, "CAIS", training=False)) == 1
+        assert len(layer_graphs(model, 8, "CAIS", training=True)) == 2
+        basic = layer_graphs(model, 8, "TP-NVLS", training=False)[0]
+        assert "ar1" in basic
+
+    def test_sublayer_for_respects_style(self):
+        model = QUICK.apply(LLAMA_7B)
+        assert "ar" in sublayer_for(model, 8, "TP-NVLS", "L1")
+        assert "rs" in sublayer_for(model, 8, "CAIS", "L1")
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_markdown_table_formats_floats(self):
+        table = markdown_table(["a", "b"], [["x", 1.234], ["y", 2]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert "| x | 1.23 |" in table
+        assert "| y | 2 |" in table
+
+    def test_speedups_over(self):
+        class R:
+            def __init__(self, m):
+                self.makespan_ns = m
+        out = speedups_over({"CAIS": R(100.0), "X": R(150.0)})
+        assert out["X"] == pytest.approx(1.5)
+        assert out["CAIS"] == pytest.approx(1.0)
+
+
+class TestFig17Scaling:
+    def test_scaled_model_dims(self):
+        m16 = scaled_model(16, QUICK)
+        assert m16.hidden == 2 * LLAMA_7B.hidden
+        assert m16.heads == 2 * LLAMA_7B.heads
+        # Tokens shard evenly at every GPU count.
+        for gpus in (8, 16, 32):
+            m = scaled_model(gpus, QUICK)
+            assert m.tokens % gpus == 0
+            assert m.tokens // 128 >= gpus
+
+
+class TestWireEfficiency:
+    def test_matches_flit_overhead(self):
+        cfg = dgx_h100_config()
+        assert wire_efficiency(cfg) == pytest.approx(128 / 144)

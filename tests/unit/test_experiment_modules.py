@@ -1,0 +1,104 @@
+"""Unit tests for experiment-module internals (fast paths only)."""
+
+import pytest
+
+from repro.experiments import (
+    fig02_scaling,
+    fig11_end_to_end,
+    fig12_sublayer,
+    fig13_merge_table,
+    fig14_table_sweep,
+    fig16_utilization_trace,
+    fig18_nvls_validation,
+)
+from repro.experiments.runner import QUICK
+
+
+class TestFig13Stages:
+    def test_stage_progression_is_cumulative(self):
+        stages = fig13_merge_table.STAGES
+        assert stages[0][1] == frozenset()
+        for (_, prev), (_, cur) in zip(stages, stages[1:]):
+            assert prev < cur            # strictly growing feature sets
+        assert stages[-1][1] == frozenset(
+            {"prelaunch", "preaccess", "throttle", "order"})
+
+
+class TestFig18:
+    def test_average_error_math(self):
+        results = {64: {"error_%": 10.0}, 128: {"error_%": 2.0}}
+        assert fig18_nvls_validation.average_error(results) == 6.0
+
+    def test_format_table_includes_average(self):
+        results = {64: {"simulated_us": 1.0, "reference_us": 1.0,
+                        "error_%": 0.0}}
+        out = fig18_nvls_validation.format_table(results)
+        assert "average error" in out
+        assert "64 MB" in out
+
+
+class TestFig14:
+    def test_normalized_uses_best_coordinated_point(self):
+        results = {"CAIS": {8: 200.0, 320: 100.0},
+                   "CAIS-w/o-Coord": {8: 400.0, 320: 200.0}}
+        norm = fig14_table_sweep.normalized(results)
+        assert norm["CAIS"][320] == pytest.approx(1.0)
+        assert norm["CAIS"][8] == pytest.approx(0.5)
+        assert norm["CAIS-w/o-Coord"][320] == pytest.approx(0.5)
+
+
+class TestFig16:
+    def test_steady_state_stats_middle_half(self):
+        series = [(float(i), u) for i, u in
+                  enumerate([0.0, 0.0, 0.5, 0.7, 0.6, 0.8, 0.0, 0.0])]
+        stats = fig16_utilization_trace.steady_state_stats(series)
+        assert stats["mean"] == pytest.approx((0.5 + 0.7 + 0.6 + 0.8) / 4)
+        assert stats["min"] == 0.5
+        assert stats["max"] == 0.8
+
+
+class TestFig11Rows:
+    def test_speedup_rows_include_geomean(self):
+        results = {"inference": {"m": {
+            "CAIS": {"per_layer_us": 100.0},
+            "TP-NVLS": {"per_layer_us": 150.0},
+            "SP-NVLS": {"per_layer_us": 200.0},
+        }}}
+        rows = fig11_end_to_end.speedup_rows(results, "inference")
+        assert rows[0][0] == "m"
+        assert rows[-1][0] == "geomean"
+        assert rows[0][1] == pytest.approx(1.5)
+        assert rows[0][2] == pytest.approx(2.0)
+
+
+class TestFig02Pieces:
+    def test_compute_time_scales_down_with_tp(self):
+        t4 = fig02_scaling.compute_time_ns(
+            QUICK.apply(__import__("repro.llm.models",
+                                   fromlist=["LLAMA_7B"]).LLAMA_7B),
+            4, QUICK)
+        t8 = fig02_scaling.compute_time_ns(
+            QUICK.apply(__import__("repro.llm.models",
+                                   fromlist=["LLAMA_7B"]).LLAMA_7B),
+            8, QUICK)
+        assert t8 < t4
+
+    def test_comm_time_grows_with_tp(self):
+        from repro.llm.models import LLAMA_7B
+        model = QUICK.apply(LLAMA_7B)
+        t4 = fig02_scaling.comm_time_ns(model, 4, QUICK)
+        t8 = fig02_scaling.comm_time_ns(model, 8, QUICK)
+        assert t8 > t4
+
+
+class TestFig12Format:
+    def test_format_table_geomean_row(self):
+        results = {"LLaMA-7B": {"L1": {
+            "CAIS": 100.0, "TP-NVLS": 140.0, "SP-NVLS": 150.0,
+            "CoCoNet": 200.0, "FuseLib": 195.0, "T3": 160.0,
+            "CoCoNet-NVLS": 120.0, "FuseLib-NVLS": 118.0,
+            "T3-NVLS": 125.0, "LADM": 700.0, "CAIS-Base": 135.0}}}
+        out = fig12_sublayer.format_table(results)
+        assert "geomean" in out
+        assert "LLaMA-7B L1" in out
+        assert "| 1.40 |" in out      # TP-NVLS speedup 140/100

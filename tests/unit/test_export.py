@@ -1,0 +1,55 @@
+"""Unit tests for JSON run-result export."""
+
+import json
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.llm.models import LLAMA_7B
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import sublayer_graph
+from repro.metrics.export import (
+    dump_run_result, load_run_summary, run_result_to_dict)
+from repro.systems import make_system
+
+TILING = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+
+
+@pytest.fixture(scope="module")
+def result():
+    model = LLAMA_7B.scaled(0.125)
+    return make_system("CAIS", dgx_h100_config(), tiling=TILING).run(
+        [sublayer_graph(model, 8, "L1")])
+
+
+def test_dict_has_headline_fields(result):
+    out = run_result_to_dict(result)
+    assert out["system"] == "CAIS"
+    assert out["makespan_ns"] > 0
+    assert 0 < out["gpu_utilization"] <= 1
+    assert 0 < out["link_utilization"] <= 1
+    assert out["bytes_on_fabric"] > 0
+    assert out["merge"]["sessions_completed"] > 0
+    names = {k["name"] for k in out["kernels"]}
+    assert {"gemm1", "ln", "gemm2"} <= names
+
+
+def test_dict_is_json_serializable(result):
+    text = json.dumps(run_result_to_dict(result, time_series_windows=8))
+    back = json.loads(text)
+    assert len(back["utilization_series"]) == 8
+    for sample in back["utilization_series"]:
+        assert 0.0 <= sample["utilization"] <= 1.0
+
+
+def test_series_skipped_by_default(result):
+    assert "utilization_series" not in run_result_to_dict(result)
+
+
+def test_dump_and_load_roundtrip(result, tmp_path):
+    path = tmp_path / "run.json"
+    dump_run_result(result, str(path), time_series_windows=4)
+    back = load_run_summary(str(path))
+    assert back["system"] == "CAIS"
+    assert back["makespan_ns"] == pytest.approx(result.makespan_ns)
+    assert len(back["utilization_series"]) == 4

@@ -1,0 +1,156 @@
+"""Unit tests for the NVLS multimem engine, including functional reduction."""
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.errors import ProtocolError
+from repro.common.events import Simulator
+from repro.interconnect.message import (
+    Address, Message, Op, gpu_node)
+from repro.interconnect.network import Network
+from repro.nvls.engine import NvlsEngine
+
+
+class Fabric:
+    """A fabric with NVLS engines and scripted GPU endpoints."""
+
+    def __init__(self, num_gpus=4, num_switches=1):
+        self.sim = Simulator()
+        cfg = dgx_h100_config(num_gpus=num_gpus)
+        cfg = cfg.__class__(**{**cfg.__dict__, "num_gpus": num_gpus,
+                               "num_switches": num_switches})
+        self.net = Network(self.sim, cfg)
+        self.engines = []
+        for sw in self.net.switches:
+            engine = NvlsEngine()
+            sw.attach_engine(engine)
+            self.engines.append(engine)
+        self.inboxes = {g: [] for g in range(num_gpus)}
+        # GPU endpoints answer ld_reduce gathers with their local value.
+        self.local_values = {g: float(g + 1) for g in range(num_gpus)}
+        for g in range(num_gpus):
+            self.net.register_gpu(g, self._make_receiver(g))
+
+    def _make_receiver(self, g):
+        def receive(msg):
+            if msg.op is Op.MULTIMEM_LD_REDUCE_GATHER:
+                resp = Message(
+                    op=Op.MULTIMEM_LD_REDUCE_RESP, src=gpu_node(g),
+                    dst=gpu_node(msg.meta["requester"]),
+                    payload_bytes=msg.meta["chunk_bytes"],
+                    address=msg.address, payload=self.local_values[g],
+                    meta={"nvls_pull": True, "requester": msg.meta["requester"],
+                          "chunk_bytes": msg.meta["chunk_bytes"]})
+                self.net.send_from_gpu(g, resp)
+            else:
+                self.inboxes[g].append(msg)
+        return receive
+
+
+def test_multicast_replicates_to_members_except_source():
+    f = Fabric()
+    msg = Message(Op.MULTIMEM_ST, gpu_node(0), gpu_node(0),
+                  payload_bytes=4096, address=Address(0, 0),
+                  payload=7.0, meta={"members": [0, 1, 2, 3]})
+    f.net.send_from_gpu(0, msg)
+    f.sim.run()
+    assert not f.inboxes[0]
+    for g in (1, 2, 3):
+        assert len(f.inboxes[g]) == 1
+        got = f.inboxes[g][0]
+        assert got.op is Op.STORE
+        assert got.payload == 7.0
+        assert got.payload_bytes == 4096
+    assert f.engines[0].multicasts == 1
+
+
+def test_multicast_requires_members():
+    f = Fabric()
+    msg = Message(Op.MULTIMEM_ST, gpu_node(0), gpu_node(0),
+                  payload_bytes=64, address=Address(0, 0))
+    f.net.send_from_gpu(0, msg)
+    with pytest.raises(ProtocolError):
+        f.sim.run()
+
+
+def test_pull_reduction_returns_sum_of_contributions():
+    f = Fabric()
+    addr = Address(1, 4096)
+    req = Message(Op.MULTIMEM_LD_REDUCE_REQ, gpu_node(1), gpu_node(1),
+                  address=addr,
+                  meta={"members": [0, 2, 3], "chunk_bytes": 2048})
+    f.net.send_from_gpu(1, req)
+    f.sim.run()
+    assert len(f.inboxes[1]) == 1
+    resp = f.inboxes[1][0]
+    assert resp.op is Op.MULTIMEM_LD_REDUCE_RESP
+    # GPUs 0, 2, 3 hold values 1, 3, 4 -> sum 8.
+    assert resp.payload == pytest.approx(8.0)
+    assert resp.payload_bytes == 2048
+    assert f.engines[0].open_sessions() == 0
+
+
+def test_pull_reduction_requires_address_and_members():
+    f = Fabric()
+    bad = Message(Op.MULTIMEM_LD_REDUCE_REQ, gpu_node(0), gpu_node(0),
+                  address=Address(0, 0), meta={})
+    f.net.send_from_gpu(0, bad)
+    with pytest.raises(ProtocolError):
+        f.sim.run()
+
+
+def test_push_reduction_accumulates_and_writes_home():
+    f = Fabric()
+    addr = Address(2, 0)
+    for g in (0, 1, 3):
+        msg = Message(Op.MULTIMEM_RED, gpu_node(g), gpu_node(2),
+                      payload_bytes=1024, address=addr,
+                      payload=float(g), meta={"expected": 3})
+        f.net.send_from_gpu(g, msg)
+    f.sim.run()
+    assert len(f.inboxes[2]) == 1
+    result = f.inboxes[2][0]
+    assert result.op is Op.STORE
+    assert result.payload == pytest.approx(0.0 + 1.0 + 3.0)
+    assert f.engines[0].push_reductions == 1
+    assert f.engines[0].open_sessions() == 0
+
+
+def test_push_reduction_downstream_traffic_is_single_chunk():
+    """The defining NVLS property: K pushes in, 1 write out (Fig. 10a)."""
+    f = Fabric()
+    addr = Address(2, 0)
+    chunk = 8192
+    for g in (0, 1, 3):
+        msg = Message(Op.MULTIMEM_RED, gpu_node(g), gpu_node(2),
+                      payload_bytes=chunk, address=addr,
+                      meta={"expected": 3})
+        f.net.send_from_gpu(g, msg)
+    f.sim.run()
+    plane = f.net.plane_for(Message(Op.MULTIMEM_RED, gpu_node(0),
+                                    gpu_node(2), address=addr))
+    down = f.net.down_links[(2, plane)].tracker
+    up_total = sum(f.net.up_links[(g, plane)].tracker.bytes_transferred
+                   for g in (0, 1, 3))
+    wire_chunk = chunk + (chunk // 128) * 16
+    assert down.bytes_transferred == wire_chunk
+    assert up_total == 3 * wire_chunk
+
+
+def test_push_reduction_requires_expected_count():
+    f = Fabric()
+    msg = Message(Op.MULTIMEM_RED, gpu_node(0), gpu_node(1),
+                  payload_bytes=64, address=Address(1, 0))
+    f.net.send_from_gpu(0, msg)
+    with pytest.raises(ProtocolError):
+        f.sim.run()
+
+
+def test_engine_ignores_plain_traffic():
+    f = Fabric()
+    msg = Message(Op.STORE, gpu_node(0), gpu_node(3), payload_bytes=256,
+                  address=Address(3, 0))
+    f.net.send_from_gpu(0, msg)
+    f.sim.run()
+    assert len(f.inboxes[3]) == 1
+    assert f.engines[0].multicasts == 0

@@ -1,0 +1,120 @@
+"""Unit tests for routing, the switch, and the wired fabric."""
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.errors import RoutingError
+from repro.common.events import Simulator
+from repro.interconnect.message import (
+    Address, Message, Op, gpu_node, switch_node)
+from repro.interconnect.network import Network
+from repro.interconnect.routing import plane_for_address, plane_for_stripe
+
+
+class TestRouting:
+    def test_deterministic(self):
+        addr = Address(3, 8192)
+        assert (plane_for_address(addr, 4) ==
+                plane_for_address(Address(3, 8192), 4))
+
+    def test_planes_in_range(self):
+        for home in range(8):
+            for off in range(0, 1 << 20, 4096):
+                assert 0 <= plane_for_address(Address(home, off), 4) < 4
+
+    def test_chunks_spread_across_planes(self):
+        counts = [0, 0, 0, 0]
+        for off in range(0, 4096 * 256, 4096):
+            counts[plane_for_address(Address(0, off), 4)] += 1
+        # Even-ish spread: no plane starves or dominates.
+        assert min(counts) > 256 * 0.15
+        assert max(counts) < 256 * 0.40
+
+    def test_stripe_round_robin(self):
+        assert [plane_for_stripe(i, 4) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_invalid_plane_count(self):
+        with pytest.raises(ValueError):
+            plane_for_address(Address(0, 0), 0)
+        with pytest.raises(ValueError):
+            plane_for_stripe(1, -1)
+
+
+class TestNetwork:
+    def make(self, num_gpus=4, num_switches=2):
+        sim = Simulator()
+        cfg = dgx_h100_config(num_gpus=num_gpus).with_gpus(num_gpus)
+        cfg = cfg.__class__(**{**cfg.__dict__, "num_switches": num_switches})
+        net = Network(sim, cfg)
+        inboxes = {g: [] for g in range(num_gpus)}
+        for g in range(num_gpus):
+            net.register_gpu(g, inboxes[g].append)
+        return sim, net, inboxes
+
+    def test_gpu_to_gpu_delivery(self):
+        sim, net, inboxes = self.make()
+        msg = Message(Op.STORE, gpu_node(0), gpu_node(2), payload_bytes=1024,
+                      address=Address(2, 0))
+        net.send_from_gpu(0, msg)
+        sim.run()
+        assert inboxes[2] == [msg]
+        assert not inboxes[0] and not inboxes[1] and not inboxes[3]
+
+    def test_delivery_time_includes_two_links_and_hop(self):
+        sim, net, inboxes = self.make()
+        cfg = net.config
+        msg = Message(Op.STORE, gpu_node(0), gpu_node(1), payload_bytes=128,
+                      address=Address(1, 0))
+        net.send_from_gpu(0, msg)
+        sim.run()
+        ser = msg.wire_bytes() / cfg.link.bandwidth_gbps
+        expected = 2 * (ser + cfg.link.latency_ns) + cfg.switch.hop_latency_ns
+        assert sim.now == pytest.approx(expected)
+
+    def test_addressed_traffic_converges_to_one_plane(self):
+        sim, net, _ = self.make(num_gpus=4, num_switches=2)
+        addr = Address(3, 4096)
+        planes = set()
+        for g in range(3):
+            msg = Message(Op.LD_CAIS_REQ, gpu_node(g), gpu_node(3),
+                          address=addr)
+            planes.add(net.send_from_gpu(g, msg))
+        assert len(planes) == 1
+
+    def test_unaddressed_traffic_stripes(self):
+        sim, net, _ = self.make(num_gpus=2, num_switches=2)
+        planes = [
+            net.send_from_gpu(
+                0, Message(Op.STORE, gpu_node(0), gpu_node(1),
+                           payload_bytes=16), stripe=i)
+            for i in range(4)
+        ]
+        assert planes == [0, 1, 0, 1]
+
+    def test_register_unknown_gpu_rejected(self):
+        sim, net, _ = self.make()
+        with pytest.raises(RoutingError):
+            net.register_gpu(99, lambda m: None)
+
+    def test_switch_rejects_non_gpu_destination(self):
+        sim, net, _ = self.make()
+        msg = Message(Op.STORE, gpu_node(0), switch_node(1), payload_bytes=16,
+                      address=Address(0, 0))
+        net.send_from_gpu(0, msg)
+        with pytest.raises(RoutingError):
+            sim.run()
+
+    def test_average_utilization_counts_all_links(self):
+        sim, net, _ = self.make(num_gpus=2, num_switches=1)
+        msg = Message(Op.STORE, gpu_node(0), gpu_node(1),
+                      payload_bytes=112500, address=Address(1, 0))
+        net.send_from_gpu(0, msg)
+        sim.run()
+        t0, t1 = net.active_span()
+        assert t1 > t0
+        util = net.average_utilization(t0, t1)
+        assert 0.0 < util <= 1.0
+
+    def test_active_span_empty_fabric(self):
+        sim, net, _ = self.make()
+        assert net.active_span() == (0.0, 0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for the timeline recorder and run reports."""
+
+import pytest
+
+from repro.metrics.timeline import Span, Timeline
+from repro.metrics.report import format_run_report
+
+
+class TestSpan:
+    def test_duration(self):
+        assert Span("k", 10.0, 35.0).duration_ns == 25.0
+
+    def test_overlap_detection(self):
+        a = Span("a", 0.0, 10.0)
+        b = Span("b", 5.0, 15.0)
+        c = Span("c", 10.0, 20.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+
+class TestTimeline:
+    def test_begin_end_roundtrip(self):
+        t = Timeline()
+        h = t.begin("gemm", 100.0)
+        t.end(h, 500.0)
+        assert t.spans() == [Span("gemm", 100.0, 500.0)]
+
+    def test_interleaved_spans(self):
+        t = Timeline()
+        h1 = t.begin("a", 0.0)
+        h2 = t.begin("b", 10.0)
+        t.end(h2, 20.0)
+        t.end(h1, 30.0)
+        names = [s.name for s in t.spans()]
+        assert names == ["b", "a"]
+
+    def test_span_for_and_missing(self):
+        t = Timeline()
+        h = t.begin("x", 0.0)
+        t.end(h, 1.0)
+        assert t.span_for("x").end_ns == 1.0
+        assert t.span_for("y") is None
+
+    def test_overlap_ns(self):
+        t = Timeline()
+        for name, s, e in (("a", 0.0, 10.0), ("b", 4.0, 12.0),
+                           ("c", 20.0, 30.0)):
+            h = t.begin(name, s)
+            t.end(h, e)
+        assert t.overlap_ns("a", "b") == pytest.approx(6.0)
+        assert t.overlap_ns("a", "c") == 0.0
+        assert t.overlap_ns("a", "missing") == 0.0
+
+    def test_critical_span(self):
+        t = Timeline()
+        for name, s, e in (("a", 0.0, 50.0), ("b", 10.0, 40.0)):
+            h = t.begin(name, s)
+            t.end(h, e)
+        assert t.critical_span().name == "a"
+        assert Timeline().critical_span() is None
+
+    def test_render_ascii(self):
+        t = Timeline()
+        h = t.begin("gemm", 0.0)
+        t.end(h, 1000.0)
+        out = t.render(width=20)
+        assert "gemm" in out and "#" in out
+        assert Timeline().render() == "(empty timeline)"
+
+
+class TestRunReport:
+    def test_report_on_real_run(self):
+        from repro.common.config import dgx_h100_config
+        from repro.llm.models import LLAMA_7B
+        from repro.llm.tiling import TilingConfig
+        from repro.llm.tp import sublayer_graph
+        from repro.systems import make_system
+        model = LLAMA_7B.scaled(0.125)
+        tiling = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+        res = make_system("CAIS", dgx_h100_config(), tiling=tiling).run(
+            [sublayer_graph(model, 8, "L1")])
+        report = format_run_report(res)
+        assert "system: CAIS" in report
+        assert "makespan" in report
+        assert "in-switch merging" in report
+        assert "kernel timeline" in report
+        assert "gemm2" in report
+
+    def test_report_without_gantt(self):
+        from repro.common.config import dgx_h100_config
+        from repro.llm.models import LLAMA_7B
+        from repro.llm.tiling import TilingConfig
+        from repro.llm.tp import sublayer_graph
+        from repro.systems import make_system
+        model = LLAMA_7B.scaled(0.125)
+        tiling = TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192)
+        res = make_system("TP-NVLS", dgx_h100_config(), tiling=tiling).run(
+            [sublayer_graph(model, 8, "L1", style="basic")])
+        report = format_run_report(res, gantt=False)
+        assert "kernel timeline" not in report
+        assert "in-switch merging" not in report   # no merge unit attached

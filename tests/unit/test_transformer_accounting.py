@@ -1,0 +1,77 @@
+"""Unit tests for model-level accounting (params, flops, memory)."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.llm.models import LLAMA_7B, MEGA_GPT_4B
+from repro.llm.transformer import (
+    activation_footprint, communication_summary, layer_comm_bytes,
+    layer_flops_per_gpu, layer_parameters, model_parameters,
+    sp_memory_saving)
+
+
+def test_layer_parameters_llama():
+    # 4*h^2 attention + 2*h*f FFN + norms.
+    h, f = LLAMA_7B.hidden, LLAMA_7B.ffn_hidden
+    assert layer_parameters(LLAMA_7B) == 4 * h * h + 2 * h * f + 4 * h
+
+
+def test_model_parameters_order_of_magnitude():
+    # LLaMA-7B's ~6.7B params are mostly layer weights; our accounting
+    # (no embeddings, no gate projection) lands at ~5.1B.
+    params = model_parameters(LLAMA_7B)
+    assert 4.0e9 < params < 6.5e9
+
+
+def test_flops_split_evenly_across_tp():
+    f8 = layer_flops_per_gpu(LLAMA_7B, 8)
+    f4 = layer_flops_per_gpu(LLAMA_7B, 4)
+    # GEMM work halves when the TP degree doubles (vector/softmax shards
+    # too), so 4-way is about twice 8-way.
+    assert f4 / f8 == pytest.approx(2.0, rel=0.1)
+
+
+def test_comm_bytes_sp_double_ops_same_volume_each():
+    # SP has twice as many collectives, each over the same global tensor.
+    assert layer_comm_bytes(LLAMA_7B, 8, "sp") == \
+        2 * layer_comm_bytes(LLAMA_7B, 8, "basic")
+
+
+class TestActivationMemory:
+    def test_sp_shards_activations(self):
+        fp = activation_footprint(LLAMA_7B, 8, "sp")
+        assert fp.replicated_bytes == 0
+        assert fp.sharded_bytes > 0
+
+    def test_basic_replicates_activations(self):
+        fp = activation_footprint(LLAMA_7B, 8, "basic")
+        assert fp.replicated_bytes == 3 * LLAMA_7B.activation_bytes()
+
+    def test_sp_saves_memory(self):
+        """The paper's Section II-A claim: SP reduces activation memory."""
+        saving = sp_memory_saving(LLAMA_7B, 8)
+        assert saving > 0.5
+        # The saving grows with the TP degree.
+        assert sp_memory_saving(LLAMA_7B, 8) > sp_memory_saving(LLAMA_7B, 2)
+
+    def test_tp1_no_saving_on_hidden_tensors(self):
+        fp_sp = activation_footprint(MEGA_GPT_4B, 1, "sp")
+        fp_basic = activation_footprint(MEGA_GPT_4B, 1, "basic")
+        assert fp_sp.total_bytes == fp_basic.total_bytes
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(WorkloadError):
+            activation_footprint(LLAMA_7B, 8, "zigzag")
+        with pytest.raises(WorkloadError):
+            activation_footprint(LLAMA_7B, 0, "sp")
+
+
+def test_communication_summary_structure():
+    out = communication_summary(LLAMA_7B, 8)
+    assert set(out) == {"basic", "sp"}
+    for style in out.values():
+        assert style["flops_per_gpu"] > 0
+        assert style["comm_bytes"] > 0
+        assert style["activation_bytes_per_gpu"] > 0
+    assert (out["sp"]["activation_bytes_per_gpu"] <
+            out["basic"]["activation_bytes_per_gpu"])

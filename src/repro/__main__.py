@@ -5,10 +5,17 @@ Usage::
     python -m repro --system CAIS --model LLaMA-7B --workload L1
     python -m repro --system SP-NVLS --workload layer --training \\
         --scale 0.125 --seed 7
+    python -m repro --system CAIS --workload L1 --trace out.json \\
+        --metrics --profile
     python -m repro --list
 
 The experiment harness (``python -m repro.experiments``) regenerates the
 paper's tables/figures; this entry point is for ad-hoc single runs.
+
+Observability flags (see README, "Observability"): ``--trace`` writes a
+Chrome/Perfetto trace of the simulated hardware, ``--metrics`` /
+``--metrics-out`` snapshot the counter/gauge/histogram registry, and
+``--profile`` prints a host-time hotspot profile of the simulator itself.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .common.config import dgx_h100_config
 from .experiments.runner import Scale, layer_graphs, sublayer_for
 from .llm.models import TABLE_I, by_name
@@ -45,6 +53,16 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--no-gantt", action="store_true",
                         help="omit the kernel timeline from the report")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome/Perfetto trace of the run "
+                             "(open at ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics snapshot as JSON")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics snapshot to PATH")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a host-time hotspot profile of the "
+                             "simulator's event loop")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -52,6 +70,14 @@ def main(argv=None) -> int:
         print("models: ", ", ".join(sorted(TABLE_I) + ["LLaMA-full"]))
         print("workloads:", ", ".join(WORKLOADS))
         return 0
+
+    # Observability sinks must be installed before the harness is built —
+    # components capture the current tracer/registry at construction.
+    tracer = obs.Tracer() if args.trace else None
+    metrics = (obs.MetricsRegistry()
+               if (args.metrics or args.metrics_out) else None)
+    profiler = obs.SimProfiler() if args.profile else None
+    obs.install(tracer=tracer, metrics=metrics, profiler=profiler)
 
     config = dgx_h100_config(num_gpus=args.gpus, seed=args.seed)
     scale = Scale(tokens_fraction=args.scale,
@@ -64,8 +90,26 @@ def main(argv=None) -> int:
         graphs = [sublayer_for(model, args.gpus, args.system,
                                args.workload)]
     system = make_system(args.system, config, tiling=scale.tiling)
-    result = system.run(graphs)
-    print(format_run_report(result, gantt=not args.no_gantt))
+    try:
+        result = system.run(graphs)
+        print(format_run_report(result, gantt=not args.no_gantt))
+        if tracer is not None:
+            from .obs.perfetto import write_chrome_trace
+            write_chrome_trace(tracer, args.trace)
+            print(f"trace: {args.trace} ({len(tracer.events())} events; "
+                  f"open at https://ui.perfetto.dev)")
+        if metrics is not None:
+            payload = metrics.to_json()
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as fh:
+                    fh.write(payload + "\n")
+                print(f"metrics: {args.metrics_out}")
+            if args.metrics:
+                print(payload)
+        if profiler is not None:
+            print(profiler.report())
+    finally:
+        obs.reset()
     return 0
 
 

@@ -42,6 +42,7 @@ from ..common.functional import combine_payloads
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.switch import Switch
 from ..metrics.merge_stats import MergeStats
+from ..obs import current_metrics, current_tracer
 
 
 class SessionKind(enum.Enum):
@@ -80,6 +81,7 @@ class MergeEntry:
     charged_entries: int = 0
     evict_on_ready: bool = False
     timeout_event: Optional[Event] = None
+    obs_aid: int = -1                    # async-span id (tracing only)
 
     @property
     def home(self) -> int:
@@ -112,6 +114,52 @@ class MergeUnit:
         self._tables: Dict[int, "OrderedDict[Tuple[Address, SessionKind], MergeEntry]"] = {}
         self._used: Dict[int, int] = {}
         self._switch: Optional[Switch] = None
+        self._tr = current_tracer()
+        self._mx = current_metrics()
+        self._next_aid = 0
+        # (switch index, port) -> track: one trace row per merge-table bank.
+        self._bank_tracks: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+    # ------------------------------------------------------------------
+    def _bank_track(self, switch: Switch, port: int) -> int:
+        key = (switch.index, port)
+        track = self._bank_tracks.get(key)
+        if track is None:
+            track = self._tr.track(f"Switch {switch.index}",
+                                   f"merge bank {port}")
+            self._bank_tracks[key] = track
+        return track
+
+    def _entry_open(self, switch: Switch, entry: MergeEntry) -> None:
+        if self._mx.enabled:
+            self._mx.counter("cais.merge.allocs").inc()
+        if not self._tr.enabled:
+            return
+        entry.obs_aid = self._next_aid
+        self._next_aid += 1
+        self._tr.async_begin(
+            self._bank_track(switch, entry.home),
+            f"merge {entry.kind.value}", entry.obs_aid,
+            switch.sim.now, cat="merge",
+            args={"expected": entry.expected,
+                  "chunk_bytes": entry.chunk_bytes})
+
+    def _entry_close(self, switch: Switch, entry: MergeEntry,
+                     completed: bool) -> None:
+        if self._mx.enabled:
+            if completed:
+                self._mx.histogram("cais.merge.session_wait_ns").record(
+                    entry.last_access - entry.first_arrival)
+            else:
+                self._mx.counter("cais.merge.evictions").inc()
+        if self._tr.enabled and entry.obs_aid >= 0:
+            self._tr.async_end(
+                self._bank_track(switch, entry.home),
+                f"merge {entry.kind.value}", entry.obs_aid,
+                switch.sim.now, cat="merge",
+                args={"completed": completed, "count": entry.count})
 
     # ------------------------------------------------------------------
     # SwitchEngine interface
@@ -159,6 +207,8 @@ class MergeUnit:
             return
 
         self.stats.requests_merged += 1
+        if self._mx.enabled:
+            self._mx.counter("cais.merge.hits").inc()
         entry.count += 1
         self._touch(switch, entry)
         if self.eviction_policy == "lru":
@@ -213,6 +263,8 @@ class MergeUnit:
     def _bypass_load(self, switch: Switch, msg: Message, requester: int,
                      chunk: int) -> None:
         self.stats.bypasses += 1
+        if self._mx.enabled:
+            self._mx.counter("cais.merge.bypasses").inc()
         direct = Message(op=Op.LOAD_REQ, src=msg.src,
                          dst=gpu_node(msg.address.home_gpu),
                          address=msg.address,
@@ -242,6 +294,8 @@ class MergeUnit:
             self.stats.requests_started += 1
         else:
             self.stats.requests_merged += 1
+            if self._mx.enabled:
+                self._mx.counter("cais.merge.hits").inc()
             if self.eviction_policy == "lru":
                 table.move_to_end(key)
         entry.count += 1
@@ -277,6 +331,8 @@ class MergeUnit:
 
     def _bypass_reduction(self, switch: Switch, msg: Message) -> None:
         self.stats.bypasses += 1
+        if self._mx.enabled:
+            self._mx.counter("cais.merge.bypasses").inc()
         direct = Message(op=Op.STORE, src=msg.src,
                          dst=gpu_node(msg.address.home_gpu),
                          payload_bytes=msg.payload_bytes, address=msg.address,
@@ -314,6 +370,7 @@ class MergeUnit:
         self._tables[port][(addr, kind)] = entry
         self._used[port] += charge
         self.stats.occupancy_change(now, switch.index, port, charge)
+        self._entry_open(switch, entry)
         return entry
 
     def _reserve(self, switch: Switch, port: int, needed: int,
@@ -377,6 +434,7 @@ class MergeUnit:
             self.stats.sessions_completed += 1
             self.stats.record_session_wait(entry.first_arrival,
                                            entry.last_access)
+        self._entry_close(switch, entry, completed)
         # A sole contributor's credit returns when its session retires
         # (completion cannot strand it; eviction/timeout must not either).
         if self.emit_credits and entry.count == 1 and entry.participants:

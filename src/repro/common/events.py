@@ -12,7 +12,10 @@ Design notes
   deterministic for a fixed seed.
 * Events are cancellable: :meth:`Event.cancel` marks the event dead and the
   main loop skips it.  This supports timeout timers (CAIS merge-entry
-  timeouts) that are usually disarmed before they fire.
+  timeouts) that are usually disarmed before they fire.  The simulator
+  tracks how many cancelled events sit in the queue and auto-compacts the
+  heap when they outnumber the live ones (timeout-heavy CAIS runs would
+  otherwise drag dead timers through every heap operation).
 """
 
 from __future__ import annotations
@@ -21,7 +24,12 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+from ..obs import current_metrics, current_profiler
 from .errors import SimulationError
+
+#: Queues smaller than this are never auto-compacted — the rebuild would
+#: cost more than skipping the handful of dead events.
+_AUTO_COMPACT_MIN_QUEUE = 64
 
 
 class Event:
@@ -31,19 +39,25 @@ class Event:
     cancels them or inspects :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., None], args: tuple):
+                 callback: Callable[..., None], args: tuple,
+                 owner: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._cancelled_live += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -74,6 +88,12 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_live = 0
+        self._auto_compactions = 0
+        self._peak_queue_depth = 0
+        # Observability hooks, captured at construction (install first).
+        self._profiler = current_profiler()
+        self._metrics = current_metrics()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -92,6 +112,26 @@ class Simulator:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying queue slots."""
+        return self._cancelled_live
+
+    def cancelled_fraction(self) -> float:
+        """Fraction of the queue occupied by cancelled events."""
+        if not self._queue:
+            return 0.0
+        return self._cancelled_live / len(self._queue)
+
+    @property
+    def auto_compactions(self) -> int:
+        """Times the queue was auto-compacted (see :meth:`schedule`)."""
+        return self._auto_compactions
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """High-water mark of the event queue."""
+        return self._peak_queue_depth
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -102,8 +142,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event {delay} ns in the past "
                 f"(now={self._now})")
-        ev = Event(self._now + delay, next(self._seq), callback, args)
+        ev = Event(self._now + delay, next(self._seq), callback, args,
+                   owner=self)
         heapq.heappush(self._queue, ev)
+        depth = len(self._queue)
+        if depth > self._peak_queue_depth:
+            self._peak_queue_depth = depth
+        # Auto-compact: when dead timers dominate the heap, one O(n)
+        # rebuild beats dragging them through every push/pop.
+        if (self._cancelled_live * 2 > depth
+                and depth >= _AUTO_COMPACT_MIN_QUEUE):
+            self.drain_cancelled()
+            self._auto_compactions += 1
+            if self._metrics.enabled:
+                self._metrics.counter("sim.auto_compactions").inc()
         return ev
 
     def schedule_at(self, time: float, callback: Callable[..., None],
@@ -119,13 +171,18 @@ class Simulator:
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
+                self._cancelled_live -= 1
                 continue
             if ev.time < self._now:
                 raise SimulationError(
                     f"event queue time went backwards: {ev.time} < {self._now}")
             self._now = ev.time
             self._events_processed += 1
-            ev.callback(*ev.args)
+            profiler = self._profiler
+            if profiler is None:
+                ev.callback(*ev.args)
+            else:
+                profiler.timed(ev.callback, ev.args)
             return True
         return False
 
@@ -149,6 +206,7 @@ class Simulator:
                 nxt = self._queue[0]
                 if nxt.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_live -= 1
                     continue
                 if until is not None and nxt.time > until:
                     self._now = until
@@ -159,8 +217,21 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            self.publish_metrics()
 
     def drain_cancelled(self) -> None:
         """Compact the queue by dropping cancelled events (heap rebuild)."""
         self._queue = [ev for ev in self._queue if not ev.cancelled]
         heapq.heapify(self._queue)
+        self._cancelled_live = 0
+
+    def publish_metrics(self) -> None:
+        """Export engine health gauges to the metrics registry (no-op when
+        metrics are disabled)."""
+        metrics = self._metrics
+        if not metrics.enabled:
+            return
+        metrics.gauge("sim.queue_depth").set(len(self._queue))
+        metrics.gauge("sim.peak_queue_depth").set(self._peak_queue_depth)
+        metrics.gauge("sim.cancelled_fraction").set(self.cancelled_fraction())
+        metrics.gauge("sim.events_processed").set(self._events_processed)

@@ -25,10 +25,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
+import heapq
+
 from ..common.config import SystemConfig
 from ..common.errors import DeadlockError
 from ..common.events import Simulator
 from ..common.rng import RngPool
+from ..obs import current_metrics, current_tracer
 from ..cais.coordination import SyncPhase
 from ..interconnect.message import Message, Op, gpu_node
 from ..interconnect.network import Network
@@ -87,6 +90,53 @@ class Executor:
         self.tbs_completed = 0
         #: Optional per-kernel span recorder (set by the harness).
         self.timeline = None
+        # Observability: TB lifecycles render one trace row per SM-slot
+        # lane of each GPU process; lanes are recycled smallest-first so
+        # the trace stays compact and deterministic.
+        self._tr = current_tracer()
+        self._mx = current_metrics()
+        if self._mx.enabled:
+            self._h_tb_latency = self._mx.histogram(
+                "gpu.tb_issue_to_retire_ns")
+            self._c_tbs = self._mx.counter("gpu.tbs_completed")
+        self._free_lanes: List[List[int]] = [[] for _ in self.gpus]
+        self._lanes_made: List[int] = [0] * len(self.gpus)
+        self._lane_tracks: Dict[Tuple[int, int], int] = {}
+        self._kernel_track = (self._tr.track("Executor", "kernels")
+                              if self._tr.enabled else 0)
+        # Kernel-span async ids are per-executor, NOT kernel_id: kernel_id
+        # comes from a process-global counter, which would leak earlier
+        # runs into the trace and break same-seed byte-identity.
+        self._next_kernel_aid = 0
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+    # ------------------------------------------------------------------
+    def _lane_acquire(self, gpu_index: int) -> int:
+        free = self._free_lanes[gpu_index]
+        if free:
+            return heapq.heappop(free)
+        lane = self._lanes_made[gpu_index]
+        self._lanes_made[gpu_index] = lane + 1
+        return lane
+
+    def _lane_track(self, gpu_index: int, lane: int) -> int:
+        key = (gpu_index, lane)
+        track = self._lane_tracks.get(key)
+        if track is None:
+            track = self._tr.track(f"GPU {gpu_index}", f"sm-slot {lane}")
+            self._lane_tracks[key] = track
+        return track
+
+    def _phase_begin(self, tb: ThreadBlock, phase: str) -> None:
+        tb.obs_phase = self._tr.begin(
+            self._lane_track(tb.gpu_index, tb.obs_lane), phase,
+            self.sim.now, cat="tb-phase")
+
+    def _phase_end(self, tb: ThreadBlock) -> None:
+        if tb.obs_phase >= 0:
+            self._tr.end(tb.obs_phase, self.sim.now)
+            tb.obs_phase = -1
 
     # ------------------------------------------------------------------
     # Token dependency fabric
@@ -133,6 +183,16 @@ class Executor:
             handle = self.timeline.begin(kernel.name, self.sim.now)
             self._kernel_done_cbs.setdefault(kernel.kernel_id, []).append(
                 lambda h=handle: self.timeline.end(h, self.sim.now))
+        if self._tr.enabled:
+            aid = self._next_kernel_aid
+            self._next_kernel_aid += 1
+            self._tr.async_begin(self._kernel_track, kernel.name, aid,
+                                 self.sim.now, cat="kernel",
+                                 args={"blocks": total})
+            self._kernel_done_cbs.setdefault(kernel.kernel_id, []).append(
+                lambda k=kernel, a=aid: self._tr.async_end(
+                    self._kernel_track, k.name, a, self.sim.now,
+                    cat="kernel"))
         if on_complete is not None:
             self._kernel_done_cbs.setdefault(
                 kernel.kernel_id, []).append(on_complete)
@@ -162,6 +222,12 @@ class Executor:
     def _tb_start(self, tb: ThreadBlock) -> None:
         # Pre-launch TB-group sync (if armed) happened in the GPU's
         # dispatcher, *before* the TB acquired its slot.
+        if self._tr.enabled:
+            tb.obs_lane = self._lane_acquire(tb.gpu_index)
+            tb.obs_span = self._tr.begin(
+                self._lane_track(tb.gpu_index, tb.obs_lane),
+                f"{tb.kernel.name}{list(tb.block_idx)}", self.sim.now,
+                cat="tb", args={"kernel": tb.kernel.name})
         self._tb_pre(tb)
 
     def _jitter(self, gpu_index: int) -> float:
@@ -172,11 +238,15 @@ class Executor:
 
     def _tb_pre(self, tb: ThreadBlock) -> None:
         tb.state = TBState.COMPUTE_PRE
+        if self._tr.enabled:
+            self._phase_begin(tb, "pre")
         duration = tb.kernel.tb_pre_ns * self._jitter(tb.gpu_index)
         self.total_compute_ns += duration
         self.sim.schedule(duration, self._tb_after_pre, tb)
 
     def _tb_after_pre(self, tb: ThreadBlock) -> None:
+        if self._tr.enabled:
+            self._phase_end(tb)
         kernel = tb.kernel
         gpu = self.gpus[tb.gpu_index]
         loads = (kernel.remote_loads(tb.gpu_index, tb.block_idx)
@@ -214,6 +284,8 @@ class Executor:
         gpu = self.gpus[tb.gpu_index]
         remote_loads = [op for op in loads
                         if op.address.home_gpu != tb.gpu_index]
+        if self._tr.enabled and remote_loads:
+            self._phase_begin(tb, "remote")
         # Reductions are fire-and-forget (pacing happened at dispatch
         # admission); the TB holds its slot only while loads are pending.
         for op in reduces:
@@ -264,6 +336,9 @@ class Executor:
             self._tb_post(tb)
 
     def _tb_post(self, tb: ThreadBlock) -> None:
+        if self._tr.enabled:
+            self._phase_end(tb)          # remote phase (if it opened)
+            self._phase_begin(tb, "post")
         tb.state = TBState.COMPUTE_POST
         duration = tb.kernel.tb_post_ns * self._jitter(tb.gpu_index)
         self.total_compute_ns += duration
@@ -273,6 +348,17 @@ class Executor:
         tb.state = TBState.DONE
         tb.complete_time = self.sim.now
         self.tbs_completed += 1
+        if self._tr.enabled:
+            self._phase_end(tb)
+            if tb.obs_span >= 0:
+                self._tr.end(tb.obs_span, self.sim.now)
+                tb.obs_span = -1
+            if tb.obs_lane >= 0:
+                heapq.heappush(self._free_lanes[tb.gpu_index], tb.obs_lane)
+                tb.obs_lane = -1
+        if self._mx.enabled:
+            self._h_tb_latency.record(self.sim.now - tb.dispatch_time)
+            self._c_tbs.inc()
         self.gpus[tb.gpu_index].release_slot(tb)
         kernel = tb.kernel
         if kernel.on_tb_complete is not None:

@@ -16,9 +16,22 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 
+from ..obs import current_metrics
+
 
 class DispatchPolicy:
     """Chooses which ready TB a GPU dispatches next."""
+
+    def __init__(self) -> None:
+        # Per-policy-class dispatch counters, shared across all GPUs so
+        # the snapshot shows how much each strategy actually decided.
+        mx = current_metrics()
+        self._picks = (mx.counter(f"sched.{type(self).__name__}.picks")
+                       if mx.enabled else None)
+
+    def _note_pick(self) -> None:
+        if self._picks is not None:
+            self._picks.inc()
 
     def pick(self, queue: List[Any]) -> Any:
         """Remove and return one TB from ``queue`` (must be non-empty)."""
@@ -29,6 +42,7 @@ class FifoPolicy(DispatchPolicy):
     """Strict submission order — what a fully deterministic scheduler does."""
 
     def pick(self, queue: List[Any]) -> Any:
+        self._note_pick()
         return queue.pop(0)
 
 
@@ -41,12 +55,14 @@ class ShuffledPolicy(DispatchPolicy):
     """
 
     def __init__(self, window: int, rng: np.random.Generator):
+        super().__init__()
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
         self.rng = rng
 
     def pick(self, queue: List[Any]) -> Any:
+        self._note_pick()
         bound = min(self.window, len(queue))
         index = int(self.rng.integers(0, bound)) if bound > 1 else 0
         return queue.pop(index)
@@ -56,9 +72,11 @@ class KeyedPolicy(DispatchPolicy):
     """Dispatch the TB minimizing ``key`` (locality-aware scheduling)."""
 
     def __init__(self, key: Callable[[Any], Any]):
+        super().__init__()
         self.key = key
 
     def pick(self, queue: List[Any]) -> Any:
+        self._note_pick()
         best = min(range(len(queue)), key=lambda i: self.key(queue[i]))
         return queue.pop(best)
 
@@ -75,6 +93,7 @@ class FairSharePolicy(DispatchPolicy):
     """
 
     def __init__(self, gpu: Any, window: int, rng: np.random.Generator):
+        super().__init__()
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self.gpu = gpu                   # reads gpu.running_per_kernel
@@ -82,6 +101,7 @@ class FairSharePolicy(DispatchPolicy):
         self.rng = rng
 
     def pick(self, queue: List[Any]) -> Any:
+        self._note_pick()
         bound = min(self.window, len(queue))
         running = self.gpu.running_per_kernel
         best_i = 0

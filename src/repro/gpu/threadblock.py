@@ -33,6 +33,11 @@ class ThreadBlock:
     prelaunch_synced: bool = False
     dispatch_time: float = field(default=-1.0)
     complete_time: float = field(default=-1.0)
+    #: Tracing state (set by the executor only when tracing is enabled):
+    #: the SM-slot lane this TB renders on, and its open span handles.
+    obs_lane: int = -1
+    obs_span: int = -1
+    obs_phase: int = -1
 
     @property
     def pool(self) -> str:

@@ -23,6 +23,7 @@ from ..common.config import LinkSpec
 from ..common.errors import SimulationError
 from ..common.events import Simulator
 from ..metrics.bandwidth import BandwidthTracker
+from ..obs import current_metrics, current_tracer
 from .message import Message, TrafficClass
 
 _RR_ORDER = (TrafficClass.CONTROL, TrafficClass.LOAD, TrafficClass.REDUCTION)
@@ -47,6 +48,21 @@ class Link:
         self.peak_queue_depth = 0
         # Backpressure waiters: (traffic class, threshold, callback).
         self._room_waiters: Deque = deque()
+        # Observability (captured at wiring time; null objects when off).
+        self._tr = current_tracer()
+        self._mx = current_metrics()
+        self._obs_on = self._tr.enabled or self._mx.enabled
+        self._track = (self._tr.track("Fabric", name)
+                       if self._tr.enabled else 0)
+        if self._mx.enabled:
+            self._h_qdelay = self._mx.histogram("link.queue_delay_ns")
+            self._c_msgs = self._mx.counter("link.messages")
+            self._c_bytes = self._mx.counter("link.bytes")
+            self._g_qdepth = self._mx.gauge("link.peak_queue_depth")
+        # msg id -> enqueue time, for queueing-delay accounting; entries
+        # live only while the message sits in a queue, so ids are stable.
+        self._enqueued_at: Dict[int, float] = {}
+        self._tx_span = -1
 
     # ------------------------------------------------------------------
     # Sending
@@ -60,6 +76,13 @@ class Link:
         depth = sum(len(q) for q in self._queues.values())
         if depth > self.peak_queue_depth:
             self.peak_queue_depth = depth
+        if self._obs_on:
+            now = self.sim.now
+            self._enqueued_at[id(msg)] = now
+            if self._tr.enabled:
+                self._tr.counter(self._track, "queue_depth", now, depth)
+            if self._mx.enabled:
+                self._g_qdepth.set(self.peak_queue_depth)
         if not self._busy:
             self._start_next()
 
@@ -125,9 +148,23 @@ class Link:
         serialization = msg.wire_bytes() / self.spec.bandwidth_gbps
         now = self.sim.now
         self.tracker.record(now, now + serialization, msg.wire_bytes())
+        if self._obs_on:
+            enq = self._enqueued_at.pop(id(msg), now)
+            if self._mx.enabled:
+                self._h_qdelay.record(now - enq)
+                self._c_msgs.inc()
+                self._c_bytes.inc(msg.wire_bytes())
+            if self._tr.enabled:
+                self._tx_span = self._tr.begin(
+                    self._track, f"tx {msg.op.value}", now, cat="link",
+                    args={"bytes": msg.wire_bytes(),
+                          "queued_ns": now - enq})
         self.sim.schedule(serialization, self._on_serialized, msg)
 
     def _on_serialized(self, msg: Message) -> None:
+        if self._tr.enabled and self._tx_span >= 0:
+            self._tr.end(self._tx_span, self.sim.now)
+            self._tx_span = -1
         self.sim.schedule(self.spec.latency_ns, self.deliver, msg)
         self._start_next()
         self._admit_waiters()

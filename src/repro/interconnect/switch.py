@@ -17,6 +17,7 @@ from typing import Dict, List, Protocol
 from ..common.config import SwitchSpec
 from ..common.errors import RoutingError
 from ..common.events import Simulator
+from ..obs import current_metrics, current_tracer
 from .link import Link
 from .message import Message, NodeId
 
@@ -44,6 +45,13 @@ class Switch:
         self.engines: List[SwitchEngine] = []
         self.messages_handled = 0
         self.ops_seen: Counter = Counter()
+        self._tr = current_tracer()
+        self._mx = current_metrics()
+        if self._mx.enabled:
+            self._c_msgs = self._mx.counter(f"switch.{index}.messages")
+        # Port tracks are created lazily — only ports that see traffic
+        # appear in the trace.
+        self._port_tracks: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Configuration
@@ -63,6 +71,17 @@ class Switch:
     def _dispatch(self, msg: Message, in_port: int) -> None:
         self.messages_handled += 1
         self.ops_seen[msg.op] += 1
+        if self._tr.enabled:
+            track = self._port_tracks.get(in_port)
+            if track is None:
+                track = self._tr.track(f"Switch {self.index}",
+                                       f"port {in_port}")
+                self._port_tracks[in_port] = track
+            self._tr.instant(track, msg.op.value, self.sim.now,
+                             cat="switch",
+                             args={"bytes": msg.payload_bytes})
+        if self._mx.enabled:
+            self._c_msgs.inc()
         for engine in self.engines:
             if engine.process(self, msg, in_port):
                 return

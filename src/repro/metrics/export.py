@@ -32,9 +32,18 @@ def run_result_to_dict(result, time_series_windows: int = 0) -> Dict[str, Any]:
         out["merge"] = {k: float(v)
                         for k, v in result.merge_stats.summary().items()}
     if result.timeline is not None:
-        out["kernels"] = [
-            {"name": s.name, "start_ns": s.start_ns, "end_ns": s.end_ns}
-            for s in result.timeline.spans()]
+        kernels = []
+        for s in result.timeline.spans():
+            entry = {"name": s.name, "start_ns": s.start_ns,
+                     "end_ns": s.end_ns}
+            if not s.complete:
+                # Flushed at teardown, never actually finished.
+                entry["unterminated"] = True
+            kernels.append(entry)
+        out["kernels"] = kernels
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        out["metrics"] = metrics.snapshot()
     if result.network is not None:
         out["bytes_on_fabric"] = sum(
             l.tracker.bytes_transferred for l in result.network.all_links())
@@ -42,13 +51,15 @@ def run_result_to_dict(result, time_series_windows: int = 0) -> Dict[str, Any]:
             links = result.network.all_links()
             window = result.makespan_ns / time_series_windows
             series = []
-            t = 0.0
-            while t < result.makespan_ns - 1e-9:
-                hi = min(t + window, result.makespan_ns)
-                util = sum(l.tracker.utilization(t, hi)
+            # Iterate window *indices*: accumulating t += window drifts in
+            # float and could emit a duplicate or truncated final window.
+            for i in range(time_series_windows):
+                lo = i * window
+                hi = (result.makespan_ns if i == time_series_windows - 1
+                      else (i + 1) * window)
+                util = sum(l.tracker.utilization(lo, hi)
                            for l in links) / len(links)
-                series.append({"t_ns": (t + hi) / 2, "utilization": util})
-                t += window
+                series.append({"t_ns": (lo + hi) / 2, "utilization": util})
             out["utilization_series"] = series
     return out
 

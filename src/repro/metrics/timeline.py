@@ -14,11 +14,17 @@ from typing import Dict, List, Optional, Tuple
 
 @dataclass(frozen=True)
 class Span:
-    """One kernel's lifetime."""
+    """One kernel's lifetime.
+
+    ``complete`` is False for spans that were still open when the run tore
+    down and were closed by :meth:`Timeline.flush` — their ``end_ns`` is
+    the flush time, not a real completion.
+    """
 
     name: str
     start_ns: float
     end_ns: float
+    complete: bool = True
 
     @property
     def duration_ns(self) -> float:
@@ -50,11 +56,30 @@ class Timeline:
         name, start = self._open.pop(handle)
         self._spans.append(Span(name, start, time_ns))
 
+    def flush(self, time_ns: float) -> List[Span]:
+        """Close every still-open span at ``time_ns``.
+
+        Spans a run abandoned (deadlock, ``until=`` cutoff, crash during
+        teardown) used to vanish silently from reports; now they are
+        recorded with ``complete=False`` so exports can flag them.
+        Returns the flushed spans, in handle (open) order.
+        """
+        flushed = [Span(name, start, max(time_ns, start), complete=False)
+                   for _, (name, start) in sorted(self._open.items())]
+        self._open.clear()
+        self._spans.extend(flushed)
+        return flushed
+
+    def open_spans(self) -> List[Tuple[str, float]]:
+        """(name, start_ns) of spans begun but not yet ended."""
+        return [self._open[h] for h in sorted(self._open)]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def spans(self) -> List[Span]:
-        """Completed spans in completion order."""
+        """Completed spans in completion order (flushed ones included,
+        marked ``complete=False``)."""
         return list(self._spans)
 
     def span_for(self, name: str) -> Optional[Span]:

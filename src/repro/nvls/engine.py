@@ -28,6 +28,7 @@ from ..common.errors import ProtocolError
 from ..common.functional import combine_payloads as _combine
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.switch import Switch
+from ..obs import current_metrics, current_tracer
 
 
 @dataclass
@@ -41,6 +42,8 @@ class _PullSession:
     received: int = 0
     acc: Any = None
     tag: Any = None                      # opaque requester tag, echoed back
+    started_ns: float = 0.0
+    obs_aid: int = -1                    # async-span id (tracing only)
 
 
 @dataclass
@@ -53,6 +56,8 @@ class _PushSession:
     received: int = 0
     acc: Any = None
     on_complete_meta: Dict[str, Any] = field(default_factory=dict)
+    started_ns: float = 0.0
+    obs_aid: int = -1                    # async-span id (tracing only)
 
 
 class NvlsEngine:
@@ -64,6 +69,37 @@ class NvlsEngine:
         self.multicasts = 0
         self.pull_reductions = 0
         self.push_reductions = 0
+        self._tr = current_tracer()
+        self._mx = current_metrics()
+        self._next_aid = 0
+        self._track = -1                 # resolved on first switch contact
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+    # ------------------------------------------------------------------
+    def _session_open(self, switch: Switch, kind: str,
+                      session: Any) -> None:
+        if self._mx.enabled:
+            self._mx.counter(f"nvls.{kind}_sessions").inc()
+        session.started_ns = switch.sim.now
+        if not self._tr.enabled:
+            return
+        if self._track < 0:
+            self._track = self._tr.track(f"Switch {switch.index}", "NVLS")
+        session.obs_aid = self._next_aid
+        self._next_aid += 1
+        self._tr.async_begin(self._track, f"nvls {kind}", session.obs_aid,
+                             switch.sim.now, cat="nvls",
+                             args={"expected": session.expected})
+
+    def _session_close(self, switch: Switch, kind: str,
+                       session: Any) -> None:
+        if self._mx.enabled:
+            self._mx.histogram("nvls.session_gather_ns").record(
+                switch.sim.now - session.started_ns)
+        if self._tr.enabled and session.obs_aid >= 0:
+            self._tr.async_end(self._track, f"nvls {kind}", session.obs_aid,
+                               switch.sim.now, cat="nvls")
 
     # ------------------------------------------------------------------
     # SwitchEngine interface
@@ -91,6 +127,8 @@ class NvlsEngine:
         if not members:
             raise ProtocolError("multimem.st requires meta['members']")
         self.multicasts += 1
+        if self._mx.enabled:
+            self._mx.counter("nvls.multicasts").inc()
         for gpu in members:
             if gpu_node(gpu) == msg.src:
                 continue
@@ -115,9 +153,11 @@ class NvlsEngine:
         if key in self._pull_sessions:
             raise ProtocolError(f"duplicate ld_reduce session {key}")
         chunk = msg.meta.get("chunk_bytes", 0)
-        self._pull_sessions[key] = _PullSession(
+        session = _PullSession(
             requester=requester, address=msg.address, chunk_bytes=chunk,
             expected=len(members), tag=msg.meta.get("tag"))
+        self._pull_sessions[key] = session
+        self._session_open(switch, "pull", session)
         for gpu in members:
             gather = Message(op=Op.MULTIMEM_LD_REDUCE_GATHER,
                              src=switch.node_id, dst=gpu_node(gpu),
@@ -137,6 +177,7 @@ class NvlsEngine:
         if session.received == session.expected:
             del self._pull_sessions[key]
             self.pull_reductions += 1
+            self._session_close(switch, "pull", session)
             resp = Message(op=Op.MULTIMEM_LD_REDUCE_RESP,
                            src=switch.node_id, dst=gpu_node(requester),
                            payload_bytes=session.chunk_bytes,
@@ -160,11 +201,13 @@ class NvlsEngine:
                                    expected=expected,
                                    on_complete_meta=dict(msg.meta))
             self._push_sessions[msg.address] = session
+            self._session_open(switch, "push", session)
         session.received += 1
         session.acc = _combine(session.acc, msg.payload)
         if session.received == session.expected:
             del self._push_sessions[msg.address]
             self.push_reductions += 1
+            self._session_close(switch, "push", session)
             meta = dict(session.on_complete_meta)
             meta.update(reduced=True, contributions=session.received,
                         partial=False)

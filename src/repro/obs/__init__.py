@@ -1,0 +1,79 @@
+"""Unified observability layer: tracing, metrics, self-profiling.
+
+Three cooperating pieces, all off by default and zero-cost when off:
+
+* :class:`Tracer` — structured spans/instants/counters on per-component
+  tracks, exportable to Chrome/Perfetto JSON (:mod:`.perfetto`).
+* :class:`MetricsRegistry` — named counters, gauges, and log-scale
+  histograms with deterministic snapshots (:mod:`.metrics`).
+* :class:`SimProfiler` — host-time hotspot profile of the simulator's own
+  event loop (:mod:`.profiler`).
+
+Components capture the *current* tracer/metrics at construction time via
+:func:`current_tracer` / :func:`current_metrics`, so :func:`install` must
+run before the harness is built (the CLI and tests do).  The defaults are
+null objects whose ``enabled`` flag is False; instrumented hot paths guard
+on that flag and therefore cost one attribute read when observability is
+off — see DESIGN.md, "Observability".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      NullMetrics)
+from .profiler import SimProfiler
+from .tracer import NullTracer, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetrics",
+    "NullTracer", "SimProfiler", "Tracer",
+    "current_tracer", "current_metrics", "current_profiler",
+    "install", "reset",
+]
+
+_NULL_TRACER = NullTracer()
+_NULL_METRICS = NullMetrics()
+
+_tracer: NullTracer = _NULL_TRACER
+_metrics: NullMetrics = _NULL_METRICS
+_profiler: Optional[SimProfiler] = None
+
+
+def current_tracer():
+    """The installed tracer (a :class:`NullTracer` when tracing is off)."""
+    return _tracer
+
+
+def current_metrics():
+    """The installed registry (a :class:`NullMetrics` when metrics are off)."""
+    return _metrics
+
+
+def current_profiler() -> Optional[SimProfiler]:
+    """The installed profiler, or None when profiling is off."""
+    return _profiler
+
+
+def install(tracer=None, metrics=None, profiler=None) -> None:
+    """Install observability sinks; call *before* building a harness.
+
+    Only the arguments given are replaced, so tracing can be enabled
+    without metrics and vice versa.
+    """
+    global _tracer, _metrics, _profiler
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+    if profiler is not None:
+        _profiler = profiler
+
+
+def reset() -> None:
+    """Restore the null defaults (used by tests and between CLI runs)."""
+    global _tracer, _metrics, _profiler
+    _tracer = _NULL_TRACER
+    _metrics = _NULL_METRICS
+    _profiler = None

@@ -1,0 +1,186 @@
+"""Named counters, gauges, and log-scale histograms.
+
+A :class:`MetricsRegistry` hands out instrument objects that components
+hold onto and update directly (no name lookup on the hot path).  Snapshots
+are plain dicts with sorted keys, so two same-seed runs serialize to
+byte-identical JSON.
+
+The :class:`NullMetrics` registry returned when metrics are disabled hands
+out a single shared no-op instrument; instrumented code additionally
+guards hot-path updates with ``if registry.enabled:`` so a disabled run
+does not even construct the update arguments.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-set value, with the peak retained."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+        if v > self.peak:
+            self.peak = v
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (log-scale).
+
+    Bucket ``k`` counts observations with ``2^(k-1) < v <= 2^k`` (bucket 0
+    holds ``v <= 1``).  Log-scale buckets span the nanosecond-to-millisecond
+    range the simulator produces (merge waits, queueing delays, TB
+    latencies) in ~40 buckets.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        k = 0 if v <= 1.0 else math.ceil(math.log2(v))
+        self._buckets[k] = self._buckets.get(k, 0) + 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> Dict[str, int]:
+        """``{"le_2^k": count}`` with keys in ascending bucket order."""
+        return {f"le_2^{k}": self._buckets[k]
+                for k in sorted(self._buckets)}
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean(),
+            "buckets": self.buckets(),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    peak = 0.0
+    count = 0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def record(self, v: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every instrument is the shared no-op."""
+
+    enabled = False
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+class MetricsRegistry:
+    """Live registry of named instruments (get-or-create semantics)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    def names(self) -> List[str]:
+        return sorted(set(self._counters) | set(self._gauges)
+                      | set(self._histograms))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serializable state of every instrument, keys sorted."""
+        return {
+            "counters": {n: self._counters[n].value
+                         for n in sorted(self._counters)},
+            "gauges": {n: {"value": g.value, "peak": g.peak}
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON rendering of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,90 @@
+"""Simulator self-profiling: host time per callback owner.
+
+The north star asks the simulator to run "as fast as the hardware allows";
+optimizing that needs a hotspot profile of the *simulator itself*, not of
+the simulated hardware.  :class:`SimProfiler` plugs into
+:meth:`repro.common.events.Simulator.step` and accumulates host
+``perf_counter`` time per callback owner (the class+method that handled
+each event), reporting events/sec and the top-N hot components.
+
+Wall-clock readings never feed traces or metric snapshots — those stay
+deterministic; the profiler's report is a separate, human-facing artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+
+def owner_key(callback: Callable) -> str:
+    """Stable attribution key: ``Class.method`` for bound methods,
+    qualname otherwise."""
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        return f"{type(owner).__name__}.{callback.__name__}"
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+class SimProfiler:
+    """Accumulates per-owner host time across every event fired."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._time_s: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+        self.events = 0
+        self.wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Hook (called by Simulator.step)
+    # ------------------------------------------------------------------
+    def timed(self, callback: Callable, args: tuple) -> None:
+        """Run ``callback(*args)``, attributing its host time."""
+        clock = self._clock
+        t0 = clock()
+        callback(*args)
+        dt = clock() - t0
+        key = owner_key(callback)
+        self._time_s[key] = self._time_s.get(key, 0.0) + dt
+        self._count[key] = self._count.get(key, 0) + 1
+        self.events += 1
+        self.wall_s += dt
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def top(self, n: int = 10) -> List[Tuple[str, float, int]]:
+        """``(owner, seconds, events)`` rows, hottest first.
+
+        Ties break on the owner name so the ordering is reproducible.
+        """
+        rows = [(k, self._time_s[k], self._count[k]) for k in self._time_s]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows[:n]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec(),
+            "top": [{"owner": k, "seconds": s, "events": c}
+                    for k, s, c in self.top()],
+        }
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable hotspot table."""
+        lines = [f"simulator profile: {self.events} events in "
+                 f"{self.wall_s:.3f} s host time "
+                 f"({self.events_per_sec():,.0f} events/sec)"]
+        rows = self.top(top)
+        if rows:
+            width = max(len(k) for k, _, _ in rows)
+            for key, seconds, count in rows:
+                share = seconds / self.wall_s if self.wall_s > 0 else 0.0
+                lines.append(f"  {key:<{width}}  {seconds * 1e3:9.2f} ms  "
+                             f"{share:6.1%}  {count:>9} events")
+        return "\n".join(lines)

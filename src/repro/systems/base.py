@@ -29,6 +29,7 @@ from ..llm.tiling import TilingConfig, compute_kernel
 from ..metrics.merge_stats import MergeStats
 from ..metrics.timeline import Timeline
 from ..nvls.engine import NvlsEngine
+from ..obs import current_metrics, current_tracer
 
 
 @dataclass
@@ -48,6 +49,9 @@ class RunResult:
     gpu_utilization: float = 0.0
     #: Per-kernel spans (launch -> completion) for Gantt-style breakdowns.
     timeline: Optional[Timeline] = None
+    #: The observability registry active during the run (None when metrics
+    #: were disabled); folded into JSON exports by ``metrics/export.py``.
+    metrics: Optional[object] = None
     details: Dict[str, float] = field(default_factory=dict)
 
     def average_bandwidth_utilization(self) -> float:
@@ -122,6 +126,16 @@ class Harness:
         gpu_util = (sum(g.utilization(makespan)
                         for g in self.executor.gpus) /
                     len(self.executor.gpus)) if makespan > 0 else 0.0
+        # Run teardown: close anything still open so nothing is silently
+        # dropped (kernels abandoned by a deadlock or an `until=` cutoff
+        # appear flagged instead of vanishing), and publish final engine
+        # health gauges.
+        self.timeline.flush(makespan)
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.flush(makespan)
+        self.sim.publish_metrics()
+        metrics = current_metrics()
         return RunResult(system=system, makespan_ns=makespan,
                          compute_ns=self.executor.total_compute_ns,
                          tbs_completed=self.executor.tbs_completed,
@@ -130,6 +144,7 @@ class Harness:
                          network=self.network,
                          gpu_utilization=gpu_util,
                          timeline=self.timeline,
+                         metrics=metrics if metrics.enabled else None,
                          details=dict(details))
 
 

@@ -60,7 +60,11 @@ class Event:
             self.owner._cancelled_live += 1
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Direct field comparison: this runs on every heap sift, and the
+        # tuple form allocates two tuples per call.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "armed"
@@ -198,20 +202,37 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        # Hot loop: hoist attribute/global lookups out of the per-event
+        # path (this loop fires every event of every simulation).  The
+        # queue list is mutated in place everywhere (drain_cancelled
+        # included), so the local binding stays valid across callbacks.
+        queue = self._queue
+        heappop = heapq.heappop
+        profiler = self._profiler
         fired = 0
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and fired >= max_events:
                     return
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
+                ev = queue[0]
+                if ev.cancelled:
+                    heappop(queue)
                     self._cancelled_live -= 1
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and ev.time > until:
                     self._now = until
                     return
-                self.step()
+                heappop(queue)
+                if ev.time < self._now:
+                    raise SimulationError(
+                        f"event queue time went backwards: "
+                        f"{ev.time} < {self._now}")
+                self._now = ev.time
+                self._events_processed += 1
+                if profiler is None:
+                    ev.callback(*ev.args)
+                else:
+                    profiler.timed(ev.callback, ev.args)
                 fired += 1
             if until is not None and until > self._now:
                 self._now = until
@@ -220,8 +241,13 @@ class Simulator:
             self.publish_metrics()
 
     def drain_cancelled(self) -> None:
-        """Compact the queue by dropping cancelled events (heap rebuild)."""
-        self._queue = [ev for ev in self._queue if not ev.cancelled]
+        """Compact the queue by dropping cancelled events (heap rebuild).
+
+        Mutates the list in place: :meth:`run` holds a local reference to
+        the queue across callbacks (which may trigger auto-compaction via
+        :meth:`schedule`), so the list's identity must never change.
+        """
+        self._queue[:] = [ev for ev in self._queue if not ev.cancelled]
         heapq.heapify(self._queue)
         self._cancelled_live = 0
 

@@ -17,13 +17,20 @@ from . import (
     fig18_nvls_validation,
     table2_scaling_validation,
 )
+from .cache import SimCache
+from .parallel import ExecContext, RunSummary, SimTask, run_matrix
 from .runner import DEFAULT, FULL, QUICK, Scale
 
 __all__ = [
     "DEFAULT",
     "FULL",
     "QUICK",
+    "ExecContext",
+    "RunSummary",
     "Scale",
+    "SimCache",
+    "SimTask",
+    "run_matrix",
     "fig02_scaling",
     "sensitivity",
     "fig11_end_to_end",

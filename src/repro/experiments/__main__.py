@@ -5,14 +5,25 @@ Usage::
     python -m repro.experiments fig2            # one experiment
     python -m repro.experiments fig11 --quick   # smaller workload scale
     python -m repro.experiments all --out EXPERIMENTS.generated.md
+    python -m repro.experiments all --quick --jobs 8   # fan out over cores
+    python -m repro.experiments all --no-cache         # force re-simulation
 
 ``--quick`` runs at 1/8 of the models' token count, the default at 1/4,
 ``--full`` unscaled (hours in pure Python; see DESIGN.md).
+
+Every experiment is a matrix of independent simulations; ``--jobs N``
+(default: all cores) fans them across worker processes and the
+content-addressed result cache under ``--cache-dir`` (default
+``.repro_cache/``) reuses any run already simulated — across figures and
+across invocations.  ``--jobs 1 --no-cache`` is the original serial path,
+byte-for-byte.  ``--metrics`` prints the observability registry snapshot
+(cache hits/misses, per-task wall-time histogram) after the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -29,60 +40,68 @@ from . import (
     fig18_nvls_validation,
     table2_scaling_validation,
 )
+from .. import obs
 from ..hw.area import overhead_report
+from .cache import SimCache
+from .parallel import ExecContext
 from .runner import DEFAULT, FULL, QUICK, Scale
 
 
-def _fig2(scale: Scale) -> str:
+def _fig2(scale: Scale, ctx: ExecContext) -> str:
     return fig02_scaling.format_table(fig02_scaling.run(scale))
 
 
-def _fig11(scale: Scale) -> str:
-    return fig11_end_to_end.format_table(fig11_end_to_end.run(scale))
+def _fig11(scale: Scale, ctx: ExecContext) -> str:
+    return fig11_end_to_end.format_table(
+        fig11_end_to_end.run(scale, ctx=ctx))
 
 
-def _fig12(scale: Scale) -> str:
-    return fig12_sublayer.format_table(fig12_sublayer.run(scale))
+def _fig12(scale: Scale, ctx: ExecContext) -> str:
+    return fig12_sublayer.format_table(fig12_sublayer.run(scale, ctx=ctx))
 
 
-def _fig13(scale: Scale) -> str:
+def _fig13(scale: Scale, ctx: ExecContext) -> str:
     return fig13_merge_table.format_table(
-        fig13_merge_table.run_table_size(scale),
-        fig13_merge_table.run_wait_ablation(scale))
+        fig13_merge_table.run_table_size(scale, ctx=ctx),
+        fig13_merge_table.run_wait_ablation(scale, ctx=ctx))
 
 
-def _fig14(scale: Scale) -> str:
-    return fig14_table_sweep.format_table(fig14_table_sweep.run(scale))
+def _fig14(scale: Scale, ctx: ExecContext) -> str:
+    return fig14_table_sweep.format_table(
+        fig14_table_sweep.run(scale, ctx=ctx))
 
 
-def _fig15(scale: Scale) -> str:
-    return fig15_bandwidth.format_table(fig15_bandwidth.run(scale))
+def _fig15(scale: Scale, ctx: ExecContext) -> str:
+    return fig15_bandwidth.format_table(
+        fig15_bandwidth.run(scale, ctx=ctx))
 
 
-def _fig16(scale: Scale) -> str:
+def _fig16(scale: Scale, ctx: ExecContext) -> str:
     return fig16_utilization_trace.format_table(
-        fig16_utilization_trace.run(scale))
+        fig16_utilization_trace.run(scale, ctx=ctx))
 
 
-def _fig17(scale: Scale) -> str:
-    return fig17_scalability.format_table(fig17_scalability.run(scale))
+def _fig17(scale: Scale, ctx: ExecContext) -> str:
+    return fig17_scalability.format_table(
+        fig17_scalability.run(scale, ctx=ctx))
 
 
-def _fig18(scale: Scale) -> str:
+def _fig18(scale: Scale, ctx: ExecContext) -> str:
     return fig18_nvls_validation.format_table(fig18_nvls_validation.run())
 
 
-def _sensitivity(scale: Scale) -> str:
-    return sensitivity.format_tables(sensitivity.bandwidth_sweep(scale),
-                                     sensitivity.seed_sweep(scale))
+def _sensitivity(scale: Scale, ctx: ExecContext) -> str:
+    return sensitivity.format_tables(
+        sensitivity.bandwidth_sweep(scale, ctx=ctx),
+        sensitivity.seed_sweep(scale, ctx=ctx))
 
 
-def _table2(scale: Scale) -> str:
+def _table2(scale: Scale, ctx: ExecContext) -> str:
     return table2_scaling_validation.format_table(
-        table2_scaling_validation.run(scale))
+        table2_scaling_validation.run(scale, ctx=ctx))
 
 
-def _hw(scale: Scale) -> str:
+def _hw(scale: Scale, ctx: ExecContext) -> str:
     return "### Section V-D: hardware overhead\n```\n" + \
         overhead_report() + "\n```"
 
@@ -115,24 +134,52 @@ def main(argv=None) -> int:
                        help="unscaled Table-I workloads (slow)")
     parser.add_argument("--out", default=None,
                         help="also append the output to this file")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: all cores; 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate, never reuse results")
+    parser.add_argument("--cache-dir", default=".repro_cache",
+                        metavar="DIR",
+                        help="simulation-reuse cache location "
+                             "(default: %(default)s)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics snapshot (cache hits/"
+                             "misses, task wall times) after the tables")
     args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    cache = None if args.no_cache else SimCache(args.cache_dir)
+    ctx = ExecContext(jobs=jobs, cache=cache)
+
+    metrics = obs.MetricsRegistry() if args.metrics else None
+    if metrics is not None:
+        obs.install(metrics=metrics)
 
     scale = QUICK if args.quick else (FULL if args.full else DEFAULT)
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     blocks = []
-    for name in names:
-        start = time.time()
-        text = EXPERIMENTS[name](scale)
-        elapsed = time.time() - start
-        block = f"{text}\n\n_(regenerated in {elapsed:.1f}s at scale " \
-                f"{scale.tokens_fraction})_"
-        print(block)
-        print()
-        blocks.append(block)
-    if args.out:
-        with open(args.out, "a") as fh:
-            fh.write("\n\n".join(blocks) + "\n")
+    try:
+        for name in names:
+            start = time.time()
+            text = EXPERIMENTS[name](scale, ctx)
+            elapsed = time.time() - start
+            block = f"{text}\n\n_(regenerated in {elapsed:.1f}s at scale " \
+                    f"{scale.tokens_fraction})_"
+            print(block)
+            print()
+            blocks.append(block)
+        if args.out:
+            with open(args.out, "a") as fh:
+                fh.write("\n\n".join(blocks) + "\n")
+        if metrics is not None:
+            print(metrics.to_json())
+    finally:
+        if metrics is not None:
+            obs.reset()
     return 0
 
 

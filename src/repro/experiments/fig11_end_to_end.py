@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ..common.config import dgx_h100_config
 from ..llm.models import TABLE_I
 from ..systems import SYSTEM_CLASSES
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import (
     BASELINES,
     DEFAULT,
@@ -30,27 +31,31 @@ REPORTED = BASELINES + ("CAIS-Base", "CAIS")
 
 def run(scale: Scale = DEFAULT, training: bool = True,
         models: Optional[Sequence[str]] = None,
-        systems: Sequence[str] = REPORTED) -> Dict[str, Dict[str, Dict]]:
+        systems: Sequence[str] = REPORTED,
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict[str, Dict]]:
     """Returns {mode: {model: {system: per-layer us / e2e ms}}}."""
     cfg = dgx_h100_config()
     modes = ["inference"] + (["training"] if training else [])
-    out: Dict[str, Dict[str, Dict]] = {m: {} for m in modes}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for model_name in (models or list(TABLE_I)):
-        base_model = TABLE_I[model_name]
-        model = scale.apply(base_model)
+        model = scale.apply(TABLE_I[model_name])
         for mode in modes:
-            rows = {}
             for system in systems:
                 graphs = layer_graphs(model, cfg.num_gpus, system,
                                       training=(mode == "training"))
-                res = run_system(system, graphs, cfg, scale)
-                rows[system] = {
-                    "per_layer_us": res.makespan_ns / 1e3,
-                    "end_to_end_ms":
-                        res.makespan_ns * base_model.layers / 1e6,
-                    "utilization": res.average_bandwidth_utilization(),
-                }
-            out[mode][model_name] = rows
+                tasks.append(SimTask(system=system, graphs=tuple(graphs),
+                                     config=cfg, scale=scale))
+                keys.append((mode, model_name, system))
+    summaries = run_matrix(tasks, ctx)
+    out: Dict[str, Dict[str, Dict]] = {m: {} for m in modes}
+    for (mode, model_name, system), res in zip(keys, summaries):
+        layers = TABLE_I[model_name].layers
+        out[mode].setdefault(model_name, {})[system] = {
+            "per_layer_us": res.makespan_ns / 1e3,
+            "end_to_end_ms": res.makespan_ns * layers / 1e6,
+            "utilization": res.avg_bandwidth_utilization,
+        }
     return out
 
 

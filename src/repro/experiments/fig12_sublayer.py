@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 from ..common.config import dgx_h100_config
 from ..llm.models import TABLE_I
 from ..llm.tp import SUBLAYERS
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import (
     BASELINES,
     DEFAULT,
@@ -28,20 +29,25 @@ REPORTED = BASELINES + ("CAIS-Base", "CAIS")
 def run(scale: Scale = DEFAULT,
         models: Optional[Sequence[str]] = None,
         sublayers: Sequence[str] = SUBLAYERS,
-        systems: Sequence[str] = REPORTED) -> Dict[str, Dict[str, Dict]]:
+        systems: Sequence[str] = REPORTED,
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict[str, Dict]]:
     """Returns {model: {sublayer: {system: makespan_us}}}."""
     cfg = dgx_h100_config()
-    out: Dict[str, Dict[str, Dict]] = {}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for model_name in (models or list(TABLE_I)):
         model = scale.apply(TABLE_I[model_name])
-        out[model_name] = {}
         for which in sublayers:
-            rows = {}
             for system in systems:
                 graph = sublayer_for(model, cfg.num_gpus, system, which)
-                res = run_system(system, [graph], cfg, scale)
-                rows[system] = res.makespan_ns / 1e3
-            out[model_name][which] = rows
+                tasks.append(SimTask(system=system, graphs=(graph,),
+                                     config=cfg, scale=scale))
+                keys.append((model_name, which, system))
+    summaries = run_matrix(tasks, ctx)
+    out: Dict[str, Dict[str, Dict]] = {}
+    for (model_name, which, system), res in zip(keys, summaries):
+        out.setdefault(model_name, {}).setdefault(which, {})[system] = \
+            res.makespan_ns / 1e3
     return out
 
 

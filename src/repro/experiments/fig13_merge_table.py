@@ -16,14 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..cais import compiler as cais_compiler
-from ..cais.dataflow import CaisRunner
-from ..cais.merge_unit import MergeUnit
 from ..common.config import dgx_h100_config
-from ..llm import tiling as llm_tiling
 from ..llm.models import TABLE_I
 from ..llm.tp import SUBLAYERS, sublayer_graph
-from ..systems import Harness
+from .parallel import AblationSpec, ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table
 
 #: Ablation stages of Fig. 13(b): coordination features enabled.
@@ -36,58 +32,52 @@ STAGES = (
 )
 
 
-def _run_cais(graph, scale: Scale, features: frozenset,
-              capacity=None, timeout=None):
-    """One CAIS run with explicit coordination features and table limits."""
-    llm_tiling.reset_tensor_ids()
-    cais_compiler.reset_group_ids()
-    cfg = dgx_h100_config()
-    harness = Harness(cfg, merge=True, merge_capacity=capacity,
-                      merge_timeout=timeout, sync_tables=True,
-                      traffic_control=True, fair_share=True)
-    runner = CaisRunner(harness, tiling=scale.tiling,
-                        dataflow=True, coordination=True,
-                        coordination_features=features)
-    done = {"ok": False}
-    runner.run_graphs([graph], on_done=lambda: done.update(ok=True))
-    harness.executor.run()
-    assert done["ok"], "graph did not complete"
-    return harness
+def _ablation_task(graph, scale: Scale, features: frozenset) -> SimTask:
+    """One CAIS run with explicit coordination features and an unbounded
+    merge table (capacity/timeout None), as Fig. 13 measures."""
+    return SimTask(system="CAIS", graphs=(graph,),
+                   config=dgx_h100_config(), scale=scale,
+                   ablation=AblationSpec.of(features))
 
 
 def run_table_size(scale: Scale = DEFAULT,
                    models: Optional[Sequence[str]] = None,
                    sublayers: Sequence[str] = ("L1", "L2"),
+                   ctx: Optional[ExecContext] = None,
                    ) -> Dict[str, Dict[str, float]]:
     """Fig. 13(a): peak per-port occupancy (KB), coordinated vs not."""
-    out: Dict[str, Dict[str, float]] = {}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for model_name in (models or list(TABLE_I)):
         model = scale.apply(TABLE_I[model_name])
         for which in sublayers:
-            key = f"{model_name} {which}"
-            row = {}
             for label, features in (("CAIS", STAGES[-1][1]),
                                     ("CAIS-w/o-Coord", frozenset())):
                 graph = sublayer_graph(model, 8, which)
-                harness = _run_cais(graph, scale, features)
-                row[label] = harness.merge_stats.peak_bytes_per_port() / 1024
-            row["reduction_%"] = 100.0 * (1 - row["CAIS"] /
-                                          row["CAIS-w/o-Coord"])
-            out[key] = row
+                tasks.append(_ablation_task(graph, scale, features))
+                keys.append((f"{model_name} {which}", label))
+    summaries = run_matrix(tasks, ctx)
+    out: Dict[str, Dict[str, float]] = {}
+    for (key, label), summary in zip(keys, summaries):
+        out.setdefault(key, {})[label] = \
+            summary.merge_peak_bytes_per_port / 1024
+    for row in out.values():
+        row["reduction_%"] = 100.0 * (1 - row["CAIS"] /
+                                      row["CAIS-w/o-Coord"])
     return out
 
 
 def run_wait_ablation(scale: Scale = DEFAULT,
                       model_name: str = "LLaMA-7B",
-                      which: str = "L1") -> Dict[str, float]:
+                      which: str = "L1",
+                      ctx: Optional[ExecContext] = None) -> Dict[str, float]:
     """Fig. 13(b): average first-to-last request spread (us) per stage."""
     model = scale.apply(TABLE_I[model_name])
-    out: Dict[str, float] = {}
-    for label, features in STAGES:
-        graph = sublayer_graph(model, 8, which)
-        harness = _run_cais(graph, scale, features)
-        out[label] = harness.merge_stats.average_wait_ns() / 1e3
-    return out
+    tasks = [_ablation_task(sublayer_graph(model, 8, which), scale,
+                            features) for _, features in STAGES]
+    summaries = run_matrix(tasks, ctx)
+    return {label: summary.merge_average_wait_ns / 1e3
+            for (label, _), summary in zip(STAGES, summaries)}
 
 
 def format_table(table_size: Dict[str, Dict[str, float]],

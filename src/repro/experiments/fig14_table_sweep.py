@@ -9,10 +9,11 @@ degrades rapidly.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..common.config import dgx_h100_config
 from ..llm.models import TABLE_I
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
 
 CAPACITIES = (16, 32, 64, 128, 320)
@@ -20,18 +21,24 @@ CAPACITIES = (16, 32, 64, 128, 320)
 
 def run(scale: Scale = DEFAULT, model_name: str = "LLaMA-7B",
         which: str = "L1",
-        capacities: Sequence[int] = CAPACITIES) -> Dict[str, Dict[int, float]]:
+        capacities: Sequence[int] = CAPACITIES,
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict[int, float]]:
     """Returns {system: {entries: makespan_us}}."""
     cfg = dgx_h100_config()
     model = scale.apply(TABLE_I[model_name])
-    out: Dict[str, Dict[int, float]] = {}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for system in ("CAIS", "CAIS-w/o-Coord"):
-        out[system] = {}
         for entries in capacities:
             graph = sublayer_for(model, cfg.num_gpus, system, which)
-            res = run_system(system, [graph],
-                             cfg.with_merge_entries(entries), scale)
-            out[system][entries] = res.makespan_ns / 1e3
+            tasks.append(SimTask(
+                system=system, graphs=(graph,),
+                config=cfg.with_merge_entries(entries), scale=scale))
+            keys.append((system, entries))
+    summaries = run_matrix(tasks, ctx)
+    out: Dict[str, Dict[int, float]] = {}
+    for (system, entries), res in zip(keys, summaries):
+        out.setdefault(system, {})[entries] = res.makespan_ns / 1e3
     return out
 
 

@@ -11,11 +11,12 @@ traffic control) are the claims under test.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..common.config import dgx_h100_config
 from ..llm.models import TABLE_I
 from ..llm.tp import SUBLAYERS
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
 
 CONFIGS = ("CAIS-Base", "CAIS-Partial", "CAIS")
@@ -23,7 +24,8 @@ CONFIGS = ("CAIS-Base", "CAIS-Partial", "CAIS")
 
 def run(scale: Scale = DEFAULT,
         models: Optional[Sequence[str]] = None,
-        sublayers: Sequence[str] = SUBLAYERS) -> Dict[str, Dict[str, float]]:
+        sublayers: Sequence[str] = SUBLAYERS,
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict[str, float]]:
     """Returns {workload: {config: goodput utilization, config (raw): ...}}.
 
     *Goodput* utilization discounts redundant traffic (partial-reduction
@@ -32,25 +34,29 @@ def run(scale: Scale = DEFAULT,
     not count as "utilizing" the fabric.
     """
     cfg = dgx_h100_config()
-    out: Dict[str, Dict[str, float]] = {}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for model_name in (models or list(TABLE_I)):
         model = scale.apply(TABLE_I[model_name])
         for which in sublayers:
-            key = f"{model_name} {which}"
-            raw: Dict[str, float] = {}
-            bytes_moved: Dict[str, int] = {}
             for system in CONFIGS:
                 graph = sublayer_for(model, cfg.num_gpus, system, which)
-                res = run_system(system, [graph], cfg, scale)
-                raw[system] = res.average_bandwidth_utilization()
-                bytes_moved[system] = sum(
-                    l.tracker.bytes_transferred
-                    for l in res.network.all_links())
-            useful = bytes_moved["CAIS"]
-            out[key] = {s: raw[s] * useful / bytes_moved[s]
-                        for s in CONFIGS}
-            for s in CONFIGS:
-                out[key][f"{s} (raw)"] = raw[s]
+                tasks.append(SimTask(system=system, graphs=(graph,),
+                                     config=cfg, scale=scale))
+                keys.append((f"{model_name} {which}", system))
+    summaries = run_matrix(tasks, ctx)
+    raw: Dict[str, Dict[str, float]] = {}
+    bytes_moved: Dict[str, Dict[str, int]] = {}
+    for (key, system), res in zip(keys, summaries):
+        raw.setdefault(key, {})[system] = res.avg_bandwidth_utilization
+        bytes_moved.setdefault(key, {})[system] = res.link_bytes_total
+    out: Dict[str, Dict[str, float]] = {}
+    for key, per_system in raw.items():
+        useful = bytes_moved[key]["CAIS"]
+        out[key] = {s: per_system[s] * useful / bytes_moved[key][s]
+                    for s in CONFIGS}
+        for s in CONFIGS:
+            out[key][f"{s} (raw)"] = per_system[s]
     return out
 
 

@@ -9,10 +9,11 @@ saturated and idle phases (global barriers).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import dgx_h100_config
 from ..llm.models import TABLE_I
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
 
 CONFIGS = ("CAIS-Base", "CAIS-Partial", "CAIS")
@@ -20,27 +21,20 @@ CONFIGS = ("CAIS-Base", "CAIS-Partial", "CAIS")
 
 def run(scale: Scale = DEFAULT, model_name: str = "LLaMA-7B",
         which: str = "L2", windows: int = 24,
+        ctx: Optional[ExecContext] = None,
         ) -> Dict[str, List[Tuple[float, float]]]:
     """Returns {config: [(window_center_us, avg_utilization)]}."""
     cfg = dgx_h100_config()
     model = scale.apply(TABLE_I[model_name])
-    out: Dict[str, List[Tuple[float, float]]] = {}
-    for system in CONFIGS:
-        graph = sublayer_for(model, cfg.num_gpus, system, which)
-        res = run_system(system, [graph], cfg, scale)
-        t1 = res.makespan_ns
-        window = t1 / windows
-        links = res.network.all_links()
-        series = []
-        t = 0.0
-        while t < t1 - 1e-9:
-            hi = min(t + window, t1)
-            util = sum(l.tracker.utilization(t, hi) for l in links) / \
-                len(links)
-            series.append(((t + hi) / 2 / 1e3, util))
-            t += window
-        out[system] = series
-    return out
+    tasks = [SimTask(system=system,
+                     graphs=(sublayer_for(model, cfg.num_gpus, system,
+                                          which),),
+                     config=cfg, scale=scale,
+                     utilization_windows=windows)
+             for system in CONFIGS]
+    summaries = run_matrix(tasks, ctx)
+    return {system: list(res.utilization_series or ())
+            for system, res in zip(CONFIGS, summaries)}
 
 
 def steady_state_stats(series: List[Tuple[float, float]]) -> Dict[str, float]:

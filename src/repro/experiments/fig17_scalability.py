@@ -9,10 +9,11 @@ normalized to 8-GPU CAIS; the paper reports under a 5% drop at 32 GPUs.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..common.config import dgx_h100_config
 from ..llm.models import LLAMA_7B
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
 
 GPU_COUNTS = (8, 16, 32)
@@ -40,18 +41,23 @@ def scaled_model(gpus: int, scale: Scale):
 
 def run(scale: Scale = DEFAULT, which: str = "L1",
         gpu_counts: Sequence[int] = GPU_COUNTS,
-        ) -> Dict[str, Dict[int, float]]:
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict[int, float]]:
     """Returns {system: {gpus: per-GPU throughput (flops/ns)}}."""
-    out: Dict[str, Dict[int, float]] = {s: {} for s in SYSTEMS}
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for gpus in gpu_counts:
         cfg = dgx_h100_config(num_gpus=gpus)
         model = scaled_model(gpus, scale)
         for system in SYSTEMS:
             graph = sublayer_for(model, gpus, system, which)
-            res = run_system(system, [graph], cfg, scale)
-            # Per-GPU arithmetic throughput over the run.
-            flops = graph.total_flops()
-            out[system][gpus] = flops / res.makespan_ns
+            tasks.append(SimTask(system=system, graphs=(graph,),
+                                 config=cfg, scale=scale))
+            keys.append((system, gpus, graph.total_flops()))
+    summaries = run_matrix(tasks, ctx)
+    out: Dict[str, Dict[int, float]] = {s: {} for s in SYSTEMS}
+    for (system, gpus, flops), res in zip(keys, summaries):
+        # Per-GPU arithmetic throughput over the run.
+        out[system][gpus] = flops / res.makespan_ns
     return out
 
 

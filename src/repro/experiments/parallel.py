@@ -1,0 +1,357 @@
+"""Parallel experiment fan-out over independent simulations.
+
+The paper's evaluation is a matrix of fully independent ``Simulator``
+instances — 9 baselines x Table-I models x ablation grids — and each run
+builds its own engine, network, and RNG streams from the task description
+alone.  This module fans that matrix across cores:
+
+* :class:`SimTask` — a picklable description of one simulation (system,
+  workload graphs, config, scale, optional CAIS-ablation knobs).  Graphs
+  carry no closures or engine handles, so tasks ship to worker processes
+  unchanged.
+* :class:`RunSummary` — the picklable, JSON-round-trippable result
+  envelope.  A :class:`~repro.systems.base.RunResult` drags the whole
+  ``Network`` and ``Timeline`` along; the summary keeps exactly the
+  scalars and series the figure modules consume.
+* :func:`run_matrix` — executes a task list, serially (``jobs=1``, the
+  byte-for-byte default path) or on a ``ProcessPoolExecutor``, merging
+  results back in task order and consulting a
+  :class:`~repro.experiments.cache.SimCache` when one is supplied.
+
+Determinism: each task carries its seed inside ``SystemConfig``; every
+worker run rebuilds the engine from scratch exactly like the serial path
+(``System.run`` resets the tensor/group id counters), so ``--jobs N`` and
+``--jobs 1`` produce identical tables and cache entries.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import SystemConfig
+from ..common.errors import WorkloadError
+from ..llm.graph import Graph
+from ..obs import current_metrics
+from .cache import CACHE_SCHEMA, SimCache, fingerprint
+
+#: Metric names emitted by :func:`run_matrix` (satellite: cache and pool
+#: health flow through the PR-1 observability layer, visible via
+#: ``--metrics``).
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+TASK_WALL_MS = "experiments.task_wall_ms"
+
+
+@dataclass(frozen=True)
+class AblationSpec:
+    """CAIS coordination-ablation knobs (Fig. 13's ``_run_cais`` path).
+
+    These runs bypass :func:`~repro.experiments.runner.run_system` —
+    they need explicit coordination feature sets and merge-table limits
+    that the system registry does not expose — so the task records the
+    knobs and the worker rebuilds the ablation harness itself.
+    """
+
+    features: Tuple[str, ...] = ()
+    merge_capacity: Optional[int] = None     # None = unbounded table
+    merge_timeout: Optional[float] = None    # None = no timeout
+
+    @classmethod
+    def of(cls, features) -> "AblationSpec":
+        return cls(features=tuple(sorted(features)))
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One independent simulation, fully described by value.
+
+    ``utilization_windows`` asks the worker to pre-compute the Fig. 16
+    windowed utilization series (the raw per-link trackers do not travel
+    back across the process boundary).  It does **not** enter the cache
+    fingerprint — see :func:`summary_satisfies`.
+    """
+
+    system: str
+    graphs: Tuple[Graph, ...]
+    config: SystemConfig
+    scale: object                            # runner.Scale (import cycle)
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    utilization_windows: Optional[int] = None
+    ablation: Optional[AblationSpec] = None
+
+    def payload(self) -> Dict[str, object]:
+        """Canonical fingerprint payload: everything that can change the
+        simulation outcome, nothing that cannot."""
+        return {
+            "schema": CACHE_SCHEMA,
+            "system": self.system,
+            "kwargs": [[k, v] for k, v in sorted(self.kwargs)],
+            "graphs": [_graph_payload(g) for g in self.graphs],
+            "config": self.config,
+            "scale": self.scale,
+            "ablation": self.ablation,
+        }
+
+    def fingerprint(self) -> str:
+        return fingerprint(self.payload())
+
+
+def _graph_payload(graph: Graph) -> Dict[str, object]:
+    """Structural identity of a workload graph (insertion order is the
+    graph's canonical op order)."""
+    return {
+        "name": graph.name,
+        "ops": [{
+            "name": op.name,
+            "kind": op.kind,
+            "deps": list(op.deps),
+            "gemm": op.gemm,
+            "elements": op.elements,
+            "flops_per_element": op.flops_per_element,
+            "comm": op.comm,
+            "comm_bytes": op.comm_bytes,
+            "sublayer": op.sublayer,
+        } for op in graph.ops()],
+    }
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Slim, picklable projection of a :class:`RunResult`.
+
+    Holds every quantity the figure modules read off a result — makespan,
+    bandwidth utilization (whole-run average, total link bytes, optional
+    windowed series) and the merge-unit statistics — without the
+    ``Network``/``Timeline`` object graphs.
+    """
+
+    system: str
+    makespan_ns: float
+    compute_ns: float
+    tbs_completed: int
+    events: int
+    gpu_utilization: float
+    avg_bandwidth_utilization: float
+    link_bytes_total: int
+    merge_peak_bytes_per_port: float
+    merge_average_wait_ns: float
+    #: Fig. 16 series: ((window_center_us, mean_utilization), ...).
+    utilization_series: Optional[Tuple[Tuple[float, float], ...]] = None
+    details: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_result(cls, result,
+                    windows: Optional[int] = None) -> "RunSummary":
+        """Project a live :class:`RunResult` down to the summary form."""
+        link_bytes = 0
+        series = None
+        if result.network is not None:
+            link_bytes = sum(link.tracker.bytes_transferred
+                             for link in result.network.all_links())
+            if windows and result.makespan_ns > 0:
+                series = _utilization_series(result.network,
+                                             result.makespan_ns, windows)
+        merge_peak = merge_wait = 0.0
+        if result.merge_stats is not None:
+            merge_peak = float(result.merge_stats.peak_bytes_per_port())
+            merge_wait = result.merge_stats.average_wait_ns()
+        return cls(
+            system=result.system,
+            makespan_ns=result.makespan_ns,
+            compute_ns=result.compute_ns,
+            tbs_completed=result.tbs_completed,
+            events=result.events,
+            gpu_utilization=result.gpu_utilization,
+            avg_bandwidth_utilization=
+                result.average_bandwidth_utilization(),
+            link_bytes_total=link_bytes,
+            merge_peak_bytes_per_port=merge_peak,
+            merge_average_wait_ns=merge_wait,
+            utilization_series=series,
+            details=tuple(sorted(result.details.items())),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the on-disk cache entry)."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)}
+        if self.utilization_series is not None:
+            out["utilization_series"] = [list(p)
+                                         for p in self.utilization_series]
+        out["details"] = [list(p) for p in self.details]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunSummary":
+        known = {f.name for f in fields(cls)}
+        kw = {k: v for k, v in payload.items() if k in known}
+        if kw.get("utilization_series") is not None:
+            kw["utilization_series"] = tuple(
+                (float(t), float(u)) for t, u in kw["utilization_series"])
+        kw["details"] = tuple((str(k), float(v))
+                              for k, v in kw.get("details", ()))
+        return cls(**kw)
+
+
+def _utilization_series(network, makespan_ns: float, windows: int,
+                        ) -> Tuple[Tuple[float, float], ...]:
+    """Windowed mean link utilization — exactly Fig. 16's loop."""
+    links = network.all_links()
+    window = makespan_ns / windows
+    series: List[Tuple[float, float]] = []
+    t = 0.0
+    while t < makespan_ns - 1e-9:
+        hi = min(t + window, makespan_ns)
+        util = sum(link.tracker.utilization(t, hi)
+                   for link in links) / len(links)
+        series.append(((t + hi) / 2 / 1e3, util))
+        t += window
+    return tuple(series)
+
+
+def summary_satisfies(task: SimTask, summary: RunSummary) -> bool:
+    """Whether a cached summary answers everything ``task`` asks for.
+
+    Windowed-series resolution deliberately stays out of the fingerprint
+    (so fig12/fig15 share entries with plain runs of the same workload);
+    a fig16-style task therefore re-checks the summary's shape here and
+    re-simulates on mismatch, overwriting the entry with a richer one.
+    """
+    if task.utilization_windows is None:
+        return True
+    series = summary.utilization_series
+    return (series is not None
+            and len(series) == task.utilization_windows
+            and summary.makespan_ns > 0)
+
+
+@dataclass
+class ExecContext:
+    """How a figure's task matrix executes: worker count + result cache.
+
+    The default (``jobs=1``, no cache) is today's serial in-process path,
+    byte-for-byte — library callers that never pass a context see no
+    behaviour change.
+    """
+
+    jobs: int = 1
+    cache: Optional[SimCache] = None
+
+
+#: Shared default so ``ctx=None`` callers allocate nothing.
+SERIAL = ExecContext()
+
+
+def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
+    """Run one task to completion; returns (summary, host wall ms).
+
+    Top-level so it pickles into pool workers; also the serial path, so
+    both modes share one code path per task.
+    """
+    start = time.perf_counter()
+    if task.ablation is not None:
+        result = _run_ablation(task)
+    else:
+        from .runner import run_system
+        result = run_system(task.system, list(task.graphs), task.config,
+                            task.scale, **dict(task.kwargs))
+    summary = RunSummary.from_result(result,
+                                     windows=task.utilization_windows)
+    return summary, (time.perf_counter() - start) * 1e3
+
+
+def _run_ablation(task: SimTask):
+    """One CAIS run with explicit coordination features and table limits
+    (the Fig. 13 harness, formerly ``fig13_merge_table._run_cais``)."""
+    from ..cais import compiler as cais_compiler
+    from ..cais.dataflow import CaisRunner
+    from ..llm import tiling as llm_tiling
+    from ..systems import Harness
+
+    spec = task.ablation
+    llm_tiling.reset_tensor_ids()
+    cais_compiler.reset_group_ids()
+    harness = Harness(task.config, merge=True,
+                      merge_capacity=spec.merge_capacity,
+                      merge_timeout=spec.merge_timeout,
+                      sync_tables=True, traffic_control=True,
+                      fair_share=True)
+    runner = CaisRunner(harness, tiling=task.scale.tiling,
+                        dataflow=True, coordination=True,
+                        coordination_features=frozenset(spec.features))
+    done = {"ok": False}
+    runner.run_graphs(list(task.graphs),
+                      on_done=lambda: done.update(ok=True))
+    harness.executor.run()
+    if not done["ok"]:
+        raise WorkloadError(
+            f"{task.system} ablation graphs did not run to completion")
+    return harness.result(task.system)
+
+
+def run_matrix(tasks: Sequence[SimTask],
+               ctx: Optional[ExecContext] = None) -> List[RunSummary]:
+    """Execute every task, returning summaries in task order.
+
+    Cache hits never reach the pool; misses fan out across
+    ``ctx.jobs`` worker processes (``jobs=1`` runs them serially in
+    process, preserving today's execution exactly).  Identical tasks
+    within one matrix (figures sharing baseline runs) simulate once.
+    Emits ``cache.hits``/``cache.misses`` counters and an
+    ``experiments.task_wall_ms`` histogram when metrics are installed.
+    """
+    ctx = ctx or SERIAL
+    metrics = current_metrics()
+    out: List[Optional[RunSummary]] = [None] * len(tasks)
+    fps: List[Optional[str]] = [None] * len(tasks)
+    pending: List[int] = []
+    queued: Dict[str, int] = {}       # fingerprint -> first pending index
+    aliases: List[Tuple[int, int]] = []   # (dup index, source index)
+    for i, task in enumerate(tasks):
+        if ctx.cache is not None:
+            fps[i] = task.fingerprint()
+            stored = ctx.cache.lookup(fps[i])
+            if stored is not None:
+                try:
+                    summary = RunSummary.from_dict(stored)
+                except (TypeError, ValueError):
+                    summary = None
+                if summary is not None and summary_satisfies(task, summary):
+                    out[i] = summary
+                    if metrics.enabled:
+                        metrics.counter(CACHE_HITS).inc()
+                    continue
+            src = queued.get(fps[i])
+            if src is not None and (
+                    task.utilization_windows is None or
+                    task.utilization_windows ==
+                    tasks[src].utilization_windows):
+                aliases.append((i, src))
+                if metrics.enabled:
+                    metrics.counter(CACHE_HITS).inc()
+                continue
+            queued[fps[i]] = i
+            if metrics.enabled:
+                metrics.counter(CACHE_MISSES).inc()
+        pending.append(i)
+
+    if pending:
+        work = [tasks[i] for i in pending]
+        jobs = min(max(1, ctx.jobs), len(work))
+        if jobs > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(_execute_task, work))
+        else:
+            outcomes = [_execute_task(task) for task in work]
+        for i, (summary, wall_ms) in zip(pending, outcomes):
+            out[i] = summary
+            if metrics.enabled:
+                metrics.histogram(TASK_WALL_MS).record(wall_ms)
+            if ctx.cache is not None:
+                ctx.cache.store(fps[i], summary.to_dict())
+    for i, src in aliases:
+        out[i] = out[src]
+    return out  # type: ignore[return-value]

@@ -12,6 +12,7 @@ shapes are stable across scales; ``--full`` runs the unscaled workloads.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -92,16 +93,36 @@ def run_system(system: str, graphs: Sequence[Graph],
 
 
 def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; 0.0 (with a warning) when any value is <= 0.
+
+    A zero or negative makespan means a run produced no work (or a bug
+    upstream) — ``math.log`` would raise a domain error and take the whole
+    figure down with it, so the degenerate mean is reported instead.
+    """
     values = list(values)
     if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        warnings.warn(
+            "geomean over non-positive values; returning 0.0",
+            RuntimeWarning, stacklevel=2)
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def speedups_over(results: Dict[str, RunResult],
                   reference: str = "CAIS") -> Dict[str, float]:
-    """makespan(system) / makespan(reference) for every system."""
+    """makespan(system) / makespan(reference) for every system.
+
+    A zero reference makespan (empty run) yields 0.0 for every system,
+    with a warning, instead of a ZeroDivisionError.
+    """
     ref = results[reference].makespan_ns
+    if ref == 0:
+        warnings.warn(
+            f"reference {reference!r} has zero makespan; "
+            f"returning 0.0 speedups", RuntimeWarning, stacklevel=2)
+        return {name: 0.0 for name in results}
     return {name: res.makespan_ns / ref for name, res in results.items()}
 
 

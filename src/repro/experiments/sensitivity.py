@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..common.config import dgx_h100_config
 from ..llm.models import LLAMA_7B
 from ..llm.tp import sublayer_graph
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system
 
 BANDWIDTHS = (8.0, 16.0, 32.0, 64.0)
@@ -29,39 +30,51 @@ SEEDS = (1, 2, 3, 4, 5)
 
 def bandwidth_sweep(scale: Scale = DEFAULT,
                     bandwidths: Sequence[float] = BANDWIDTHS,
+                    ctx: Optional[ExecContext] = None,
                     ) -> Dict[float, Dict[str, float]]:
     """CAIS vs SP-NVLS across per-plane link bandwidths (bytes/ns)."""
-    out: Dict[float, Dict[str, float]] = {}
     model = scale.apply(LLAMA_7B)
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for bw in bandwidths:
         cfg = dgx_h100_config()
         cfg = replace(cfg, link=replace(cfg.link, bandwidth_gbps=bw))
-        times = {}
         for system in ("CAIS", "SP-NVLS"):
             graph = sublayer_graph(model, cfg.num_gpus, "L1")
-            times[system] = run_system(system, [graph], cfg,
-                                       scale).makespan_ns
-        out[bw] = {
-            "cais_us": times["CAIS"] / 1e3,
-            "baseline_us": times["SP-NVLS"] / 1e3,
-            "speedup": times["SP-NVLS"] / times["CAIS"],
-        }
-    return out
+            tasks.append(SimTask(system=system, graphs=(graph,),
+                                 config=cfg, scale=scale))
+            keys.append((bw, system))
+    summaries = run_matrix(tasks, ctx)
+    times: Dict[float, Dict[str, float]] = {}
+    for (bw, system), res in zip(keys, summaries):
+        times.setdefault(bw, {})[system] = res.makespan_ns
+    return {bw: {
+        "cais_us": t["CAIS"] / 1e3,
+        "baseline_us": t["SP-NVLS"] / 1e3,
+        "speedup": t["SP-NVLS"] / t["CAIS"],
+    } for bw, t in times.items()}
 
 
 def seed_sweep(scale: Scale = DEFAULT,
-               seeds: Sequence[int] = SEEDS) -> Dict[str, float]:
+               seeds: Sequence[int] = SEEDS,
+               ctx: Optional[ExecContext] = None) -> Dict[str, float]:
     """Speedup statistics across master seeds."""
     model = scale.apply(LLAMA_7B)
-    speedups: List[float] = []
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
     for seed in seeds:
         cfg = dgx_h100_config(seed=seed)
-        times = {}
         for system in ("CAIS", "SP-NVLS"):
             graph = sublayer_graph(model, cfg.num_gpus, "L1")
-            times[system] = run_system(system, [graph], cfg,
-                                       scale).makespan_ns
-        speedups.append(times["SP-NVLS"] / times["CAIS"])
+            tasks.append(SimTask(system=system, graphs=(graph,),
+                                 config=cfg, scale=scale))
+            keys.append((seed, system))
+    summaries = run_matrix(tasks, ctx)
+    times: Dict[int, Dict[str, float]] = {}
+    for (seed, system), res in zip(keys, summaries):
+        times.setdefault(seed, {})[system] = res.makespan_ns
+    speedups: List[float] = [times[seed]["SP-NVLS"] / times[seed]["CAIS"]
+                             for seed in seeds]
     return {
         "mean": statistics.mean(speedups),
         "stdev": statistics.stdev(speedups) if len(speedups) > 1 else 0.0,

@@ -9,33 +9,43 @@ half-scale setup should track the full-scale one closely.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 from ..common.config import dgx_h100_config, full_scale_config
 from ..llm.models import LLAMA_7B, LLAMA_FULL
+from .parallel import ExecContext, SimTask, run_matrix
 from .runner import DEFAULT, Scale, markdown_table, run_system, sublayer_for
 
 
-def run(scale: Scale = DEFAULT, which: str = "L1") -> Dict[str, Dict]:
+def run(scale: Scale = DEFAULT, which: str = "L1",
+        ctx: Optional[ExecContext] = None) -> Dict[str, Dict]:
     """Returns {"Full": {...}, "Half": {...}} with per-setup speedups."""
     setups = {
         "Full": (full_scale_config(), LLAMA_FULL),
         "Half": (dgx_h100_config(), LLAMA_7B),
     }
+    tasks: List[SimTask] = []
+    keys: List[tuple] = []
+    for label, (cfg, base_model) in setups.items():
+        model = scale.apply(base_model)
+        for system in ("CAIS", "TP-NVLS"):
+            graph = sublayer_for(model, cfg.num_gpus, system, which)
+            tasks.append(SimTask(system=system, graphs=(graph,),
+                                 config=cfg, scale=scale))
+            keys.append((label, system))
+    summaries = run_matrix(tasks, ctx)
+    times: Dict[str, Dict[str, float]] = {}
+    for (label, system), res in zip(keys, summaries):
+        times.setdefault(label, {})[system] = res.makespan_ns
     out: Dict[str, Dict] = {}
     for label, (cfg, base_model) in setups.items():
         model = scale.apply(base_model)
-        times = {}
-        for system in ("CAIS", "TP-NVLS"):
-            graph = sublayer_for(model, cfg.num_gpus, system, which)
-            times[system] = run_system(system, [graph], cfg,
-                                       scale).makespan_ns
         out[label] = {
             "hidden": model.hidden,
             "ffn_hidden": model.ffn_hidden,
             "heads": model.heads,
             "sms": cfg.gpu.num_sms,
-            "speedup": times["TP-NVLS"] / times["CAIS"],
+            "speedup": times[label]["TP-NVLS"] / times[label]["CAIS"],
         }
     return out
 

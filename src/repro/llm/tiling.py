@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, List, Optional, Tuple
 
 from ..cais import compiler as cc
@@ -80,6 +81,14 @@ def ceil_div(a: int, b: int) -> int:
 # Cost model
 # ---------------------------------------------------------------------------
 
+# Both cost functions are pure in their (hashable) arguments and the
+# experiment matrix re-lowers the same handful of op shapes thousands of
+# times — once per kernel per system per run — so the results are
+# memoized (SimProfiler showed lowering as a repeated hot spot).
+# ``GpuSpec`` is a frozen dataclass, hence hashable; distinct shapes per
+# campaign number in the dozens, so the caches stay tiny.
+
+@lru_cache(maxsize=None)
 def gemm_tile_time_ns(tile_m: int, tile_n: int, k: int,
                       spec: GpuSpec) -> float:
     """Sustained time for one output tile on one resident-TB slot."""
@@ -89,7 +98,8 @@ def gemm_tile_time_ns(tile_m: int, tile_n: int, k: int,
     return flops / rate
 
 
-def vector_tb_time_ns(elements: int, flops_per_element: float,
+@lru_cache(maxsize=None)
+def vector_tb_time_ns(elements: float, flops_per_element: float,
                       spec: GpuSpec) -> float:
     """Sustained time for ``elements`` of vector work on one TB slot."""
     rate = (spec.vector_flops_per_sm_cycle * spec.clock_ghz /

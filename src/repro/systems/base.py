@@ -241,9 +241,10 @@ class BarrierRunner:
                 self.harness.executor.launch_kernel(
                     kernel, on_complete=lambda name=op.name: finish(name))
 
-        for op in graph.topo_order():
+        order = graph.topo_order()
+        for op in order:
             waiting[op.name] = len(op.deps)
-        for op in graph.topo_order():
+        for op in order:
             if waiting[op.name] == 0:
                 start(op)
 

@@ -24,7 +24,7 @@ import argparse
 import sys
 
 from . import obs
-from .common.config import dgx_h100_config
+from .common.config import FaultSpec, dgx_h100_config
 from .experiments.runner import Scale, layer_graphs, sublayer_for
 from .llm.models import TABLE_I, by_name
 from .llm.tiling import TilingConfig
@@ -63,6 +63,16 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print a host-time hotspot profile of the "
                              "simulator's event loop")
+    parser.add_argument("--faults", action="store_true",
+                        help="inject a deterministic fault schedule into "
+                             "the run (retries/fallbacks appear in the "
+                             "report details)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                        help="fault-schedule seed (default: %(default)s)")
+    parser.add_argument("--fault-intensity", type=float, default=1.0,
+                        metavar="X",
+                        help="fault intensity in [0,1] "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -80,6 +90,10 @@ def main(argv=None) -> int:
     obs.install(tracer=tracer, metrics=metrics, profiler=profiler)
 
     config = dgx_h100_config(num_gpus=args.gpus, seed=args.seed)
+    if args.faults:
+        config = config.with_faults(FaultSpec(
+            enabled=True, intensity=args.fault_intensity,
+            fault_seed=args.fault_seed))
     scale = Scale(tokens_fraction=args.scale,
                   tiling=TilingConfig(chunk_bytes=32768,
                                       red_chunk_bytes=8192))

@@ -115,6 +115,24 @@ class GroupSyncTable:
         """Groups still waiting for stragglers."""
         return len(self._states)
 
+    def open_sessions(self) -> int:
+        """Alias for deadlock diagnostics (see Switch.outstanding_work)."""
+        return len(self._states)
+
+    def fail(self, switch: Switch) -> None:
+        """Plane-failure drain: release every pending group immediately.
+
+        New sync traffic is rerouted to healthy planes by the network; the
+        groups parked here would otherwise wait out the release timeout, so
+        an eager release converts the fault into a one-shot alignment loss
+        rather than a stall (the table's releases are advisory, not a
+        correctness barrier).
+        """
+        for key, state in list(self._states.items()):
+            if key in self._states:     # a release may cascade
+                self.timeout_releases += 1
+                self._release(switch, key, state)
+
 
 class CreditThrottle:
     """Per-GPU window of outstanding mergeable sessions.

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..common.errors import ProtocolError
 from ..common.events import Event
 from ..common.functional import combine_payloads
+from ..faults.retry import RKEY_META
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.switch import Switch
 from ..metrics.merge_stats import MergeStats
@@ -91,12 +92,16 @@ class MergeEntry:
 class MergeUnit:
     """Per-switch CAIS merge unit; one logical table partition per port."""
 
+    #: In-switch compute unit: an NVLS_FAIL/PLANE_FAIL fault drains it.
+    COMPUTE_UNIT = True
+
     def __init__(self, stats: MergeStats, num_gpus: int,
                  capacity_entries: Optional[int] = 320,
                  entry_bytes: int = 128,
                  timeout_ns: Optional[float] = 50_000.0,
                  emit_credits: bool = False,
-                 eviction_policy: str = "lru"):
+                 eviction_policy: str = "lru",
+                 fault_state=None):
         self.stats = stats
         self.num_gpus = num_gpus
         #: ``None`` means unbounded (used to *measure* required capacity).
@@ -114,6 +119,12 @@ class MergeUnit:
         self._tables: Dict[int, "OrderedDict[Tuple[Address, SessionKind], MergeEntry]"] = {}
         self._used: Dict[int, int] = {}
         self._switch: Optional[Switch] = None
+        # Fault-injection state (repro.faults): a drained unit stops
+        # allocating sessions and bypasses everything; stale fills for
+        # sessions killed by the drain are swallowed on arrival.
+        self._fault_state = fault_state
+        self.draining = False
+        self._stale_fills: set = set()
         self._tr = current_tracer()
         self._mx = current_metrics()
         self._next_aid = 0
@@ -162,6 +173,41 @@ class MergeUnit:
                 args={"completed": completed, "count": entry.count})
 
     # ------------------------------------------------------------------
+    # Fault injection: graceful drain
+    # ------------------------------------------------------------------
+    def fail(self, switch: Switch) -> None:
+        """Drain the merge unit after a compute-unit/plane fault.
+
+        Correctness is preserved by the protocol's own partial-flush
+        semantics: reduction sessions flush their accumulated sum with a
+        ``contributions`` count (the home GPU completes by count, so late
+        contributions arriving as bypassed partials still add up exactly
+        once); Load-Wait waiters are reissued as direct home reads and the
+        now-orphaned merge fill is swallowed on arrival.  From then on the
+        unit bypasses every request, degrading CAIS to direct home-memory
+        traffic instead of wedging or losing contributions.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        for table in list(self._tables.values()):
+            for entry in list(table.values()):
+                if entry.kind is SessionKind.REDUCTION:
+                    self._flush_reduction(switch, entry, partial=True)
+                elif entry.status is Status.LOAD_WAIT:
+                    for waiter in entry.waiters:
+                        direct = Message(
+                            op=Op.LOAD_REQ, src=gpu_node(waiter),
+                            dst=gpu_node(entry.home), address=entry.address,
+                            meta={"direct": True, "requester": waiter,
+                                  "chunk_bytes": entry.chunk_bytes})
+                        switch.forward(direct)
+                    self._stale_fills.add(entry.address)
+                self._release(switch, entry, completed=False)
+        if self._fault_state is not None:
+            self._fault_state.counters.bump("merge_drains")
+
+    # ------------------------------------------------------------------
     # SwitchEngine interface
     # ------------------------------------------------------------------
     def process(self, switch: Switch, msg: Message, in_port: int) -> bool:
@@ -184,6 +230,9 @@ class MergeUnit:
         addr = self._require_address(msg)
         requester = msg.src[1]
         chunk = msg.meta.get("chunk_bytes", msg.payload_bytes)
+        if self.draining:
+            self._bypass_load(switch, msg, requester, chunk)
+            return
         expected = msg.meta.get("expected", self.num_gpus - 1)
         key = (addr, SessionKind.LOAD)
         table = self._table(addr.home_gpu)
@@ -226,6 +275,13 @@ class MergeUnit:
         table = self._table(addr.home_gpu)
         entry = table.get(key)
         if entry is None or entry.status is not Status.LOAD_WAIT:
+            if self._fault_state is not None:
+                # Orphaned fill: its session was killed by a drain, or the
+                # fill was rerouted here from a failed plane.  The waiters
+                # were already reissued as direct loads, so drop it.
+                self._stale_fills.discard(addr)
+                self._fault_state.counters.bump("stale_fills_dropped")
+                return
             raise ProtocolError(f"unexpected merge fill for {addr}")
         entry.status = Status.LOAD_READY
         entry.cached = msg.payload
@@ -277,6 +333,22 @@ class MergeUnit:
     # ------------------------------------------------------------------
     def _on_reduction(self, switch: Switch, msg: Message) -> None:
         addr = self._require_address(msg)
+        state = self._fault_state
+        if state is not None and RKEY_META in msg.meta:
+            if msg.meta.get("corrupted"):
+                # Damaged on the wire: discard without acking; the sender's
+                # retransmit timer re-delivers a clean copy.
+                state.counters.bump("corrupt_discards")
+                return
+            rkey = msg.meta[RKEY_META]
+            ack = Message(op=Op.RED_CAIS_ACK, src=switch.node_id,
+                          dst=msg.src, meta={RKEY_META: rkey})
+            switch.forward(ack)
+            if not state.retransmitter.accept(rkey):
+                return                  # duplicate delivery: re-acked only
+        if self.draining:
+            self._bypass_reduction(switch, msg)
+            return
         chunk = msg.payload_bytes
         expected = msg.meta.get("expected", self.num_gpus - 1)
         key = (addr, SessionKind.REDUCTION)

@@ -74,8 +74,28 @@ class NvlsCollective:
         self.sim = network.sim
         self.local_values = local_values
         self._runs: Dict[int, _Run] = {}
+        # Runs aborted by fault handling: late in-flight messages for them
+        # are swallowed instead of crashing the run lookup.
+        self._aborted: set = set()
         for gpu in gpus:
             gpu.handlers.append(self._make_handler(gpu.index))
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def abort(self, run_id: int) -> bool:
+        """Abort an in-flight run cleanly (NVLS compute-unit fault).
+
+        The run's completion callback never fires; whatever traffic is
+        still in the fabric is discarded on arrival.  Returns False when
+        the run already completed (nothing to abort).
+        """
+        run = self._runs.get(run_id)
+        if run is None or run.remaining == 0:
+            return False
+        del self._runs[run_id]
+        self._aborted.add(run_id)
+        return True
 
     # ------------------------------------------------------------------
     # Public API
@@ -196,7 +216,11 @@ class NvlsCollective:
             if not (isinstance(tag, tuple) and tag and tag[0] == "nvls"):
                 return False
             _, run_id, shard, chunk = tag
-            run = self._runs[run_id]
+            run = self._runs.get(run_id)
+            if run is None:
+                if run_id in self._aborted:
+                    return True          # stale traffic from an aborted run
+                run = self._runs[run_id]  # unknown run: KeyError as before
             if msg.op is Op.MULTIMEM_LD_REDUCE_RESP:
                 self._on_pulled(gpu_index, run_id, run, shard, chunk, msg)
                 return True

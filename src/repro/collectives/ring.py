@@ -25,11 +25,19 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..common.errors import WorkloadError
 from ..common.functional import combine_payloads
+from ..faults.retry import RKEY_META
 from ..gpu.gpu import Gpu
-from ..interconnect.message import Message, Op, gpu_node
+from ..interconnect.message import (CORRUPTED_META, Message, Op, gpu_node,
+                                    is_corrupted)
 from ..interconnect.network import Network
 
 _run_ids = itertools.count(1)
+
+#: Ack-timeout stretch for ring hops: a chunk and its ack each cross two
+#: links (GPU -> switch -> GPU) carrying ~256 KiB payloads through queues
+#: that are deep at collective start, so the round trip dwarfs the
+#: single-hop switch-ack path the base timeout is sized for.
+RING_TIMEOUT_SCALE = 4.0
 
 #: Per-chunk event callback: (shard, chunk, gpu) -> None.
 ChunkCallback = Callable[[int, int, int], None]
@@ -54,7 +62,7 @@ class RingCollective:
     """Driver executing ring collectives over the fabric."""
 
     def __init__(self, network: Network, gpus: List[Gpu],
-                 chunk_bytes: int = 262144):
+                 chunk_bytes: int = 262144, fault_state=None):
         if chunk_bytes <= 0:
             raise WorkloadError(f"chunk_bytes must be positive")
         self.network = network
@@ -63,6 +71,11 @@ class RingCollective:
         self.chunk_bytes = chunk_bytes
         self.sim = network.sim
         self._runs: Dict[int, _Run] = {}
+        # Fault-injection state (repro.faults): when present, every chunk
+        # hop is tracked by the ack/retransmit protocol — the receiver acks
+        # each hop by rkey, deduplicates redeliveries, and discards
+        # corrupted chunks unacknowledged so the sender retransmits.
+        self._fault_state = fault_state
         for gpu in gpus:
             gpu.handlers.append(self._make_handler(gpu.index))
 
@@ -147,17 +160,57 @@ class RingCollective:
     def _send(self, run_id: int, run: _Run, phase: str, shard: int,
               chunk: int, step: int, src: int, payload: Any) -> None:
         dst = (src + 1) % self.k
+        meta = {"ring": run_id, "phase": phase, "shard": shard,
+                "chunk": chunk, "step": step}
+        state = self._fault_state
+        if state is not None:
+            key = ("ring", run_id, phase, shard, chunk, step)
+            meta[RKEY_META] = key
         msg = Message(op=Op.STORE, src=gpu_node(src), dst=gpu_node(dst),
                       payload_bytes=self._bytes_of(run, chunk),
-                      payload=payload,
-                      meta={"ring": run_id, "phase": phase, "shard": shard,
-                            "chunk": chunk, "step": step})
+                      payload=payload, meta=meta)
         self.network.send_from_gpu(src, msg, stripe=chunk)
+        if state is not None:
+            def resend(attempt: int, meta=meta) -> None:
+                # Fresh copy of the metadata: the original dict is shared
+                # with the message on the wire, and the corruption fault
+                # marks it in place — a retransmit must start clean or
+                # every copy would be discarded on arrival too.
+                clean = dict(meta, retry=attempt)
+                clean.pop(CORRUPTED_META, None)
+                copy = Message(op=Op.STORE, src=gpu_node(src),
+                               dst=gpu_node(dst),
+                               payload_bytes=self._bytes_of(run, chunk),
+                               payload=payload, meta=clean)
+                self.network.send_from_gpu(src, copy, stripe=chunk)
+
+            state.retransmitter.track(key, resend,
+                                      timeout_scale=RING_TIMEOUT_SCALE)
 
     def _make_handler(self, gpu_index: int) -> Callable[[Message], bool]:
         def handler(msg: Message) -> bool:
+            state = self._fault_state
+            if state is not None and msg.op is Op.CHUNK_ACK:
+                key = msg.meta.get(RKEY_META)
+                if isinstance(key, tuple) and key and key[0] == "ring":
+                    state.retransmitter.ack(key)
+                    return True
+                return False
             if msg.op is not Op.STORE or "ring" not in msg.meta:
                 return False
+            if state is not None and RKEY_META in msg.meta:
+                if is_corrupted(msg):
+                    # Discard without acking: the sender's timer re-sends a
+                    # clean copy of the same hop.
+                    state.counters.bump("corrupt_discards")
+                    return True
+                key = msg.meta[RKEY_META]
+                ack = Message(op=Op.CHUNK_ACK, src=gpu_node(gpu_index),
+                              dst=msg.src, meta={RKEY_META: key})
+                self.network.send_from_gpu(gpu_index, ack,
+                                           stripe=msg.meta["chunk"])
+                if not state.retransmitter.accept(("ring-rx",) + key):
+                    return True          # duplicate delivery: re-acked only
             self._on_chunk(gpu_index, msg)
             return True
         return handler

@@ -98,6 +98,119 @@ class JitterSpec:
     gpu_skew_ns: float = 2_000.0
     dispatch_shuffle_window: int = 48
 
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.tb_jitter < 1.0, "JitterSpec.tb_jitter",
+                 self.tb_jitter, "must be in [0, 1)")
+        _require(self.gpu_skew_ns >= 0.0, "JitterSpec.gpu_skew_ns",
+                 self.gpu_skew_ns, "must be >= 0")
+        _require(self.dispatch_shuffle_window >= 1,
+                 "JitterSpec.dispatch_shuffle_window",
+                 self.dispatch_shuffle_window, "must be >= 1")
+
+
+def _require(ok: bool, name: str, value, constraint: str) -> None:
+    """Raise :class:`ConfigError` naming the offending field."""
+    if not ok:
+        raise ConfigError(f"{name}={value!r} {constraint}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault-injection model and the resilience knobs that answer it.
+
+    All injection is deterministic: the timeline is derived from
+    ``repro.common.rng`` streams keyed by ``fault_seed`` (mixed with the
+    system seed), so the same spec on the same config always yields the
+    same faults.  ``intensity`` in ``[0, 1]`` scales both the *probability*
+    and the *severity* of every fault class; the per-entity random draws
+    are made independently of the intensity, so the fault set at a lower
+    intensity is always a subset of the set at a higher one (degradation
+    curves are structurally monotone, not just monotone in expectation).
+
+    Rates are per-entity trigger probabilities at ``intensity=1``; windowed
+    faults (link-down, straggler, SM-throttle, degradation) last about
+    ``fault_window_ns`` and start within ``horizon_ns`` of sim start.
+
+    Resilience knobs: ``ack_timeout_ns`` arms per-session retransmit timers
+    for ring chunks and CAIS reduction contributions, backing off
+    exponentially (``backoff_base``) up to ``max_backoff_ns`` for at most
+    ``max_retries`` attempts; the watchdog converts ``watchdog_strikes``
+    consecutive no-progress intervals into a :class:`DeadlockError` with
+    per-entity outstanding-work diagnostics.
+    """
+
+    enabled: bool = False
+    intensity: float = 1.0
+    fault_seed: int = 0
+    horizon_ns: float = 2.0e6            # fault onsets fall in [0, horizon)
+    # Link faults.
+    link_degrade_rate: float = 0.35
+    link_degrade_floor: float = 0.4      # surviving bandwidth fraction at 1.0
+    link_down_rate: float = 0.10
+    fault_window_ns: float = 150_000.0
+    # Switch faults.
+    plane_fail_rate: float = 0.12
+    nvls_fail_rate: float = 0.25
+    # GPU faults.
+    gpu_straggler_rate: float = 0.25
+    straggler_slowdown: float = 2.5      # compute-time multiplier at 1.0
+    sm_throttle_rate: float = 0.15
+    sm_throttle_floor: float = 0.5       # surviving SM-slot fraction at 1.0
+    # Message faults (protected data-plane ops only; see faults/injector.py).
+    msg_drop_rate: float = 0.02
+    msg_corrupt_rate: float = 0.01
+    # Resilience.  The base ack timeout is sized for the short path
+    # (single-hop switch acks); transports with longer round trips pass a
+    # timeout scale to the retransmitter — a timeout near the path's real
+    # RTT triggers spurious retransmit storms that amplify the very
+    # congestion that delayed the ack.
+    ack_timeout_ns: float = 100_000.0
+    max_retries: int = 8
+    backoff_base: float = 2.0
+    max_backoff_ns: float = 1.6e6
+    watchdog_interval_ns: float = 1.0e6
+    watchdog_strikes: int = 3
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.intensity <= 1.0, "FaultSpec.intensity",
+                 self.intensity, "must be in [0, 1]")
+        _require(self.horizon_ns > 0.0, "FaultSpec.horizon_ns",
+                 self.horizon_ns, "must be > 0")
+        for name in ("link_degrade_rate", "link_down_rate", "plane_fail_rate",
+                     "nvls_fail_rate", "gpu_straggler_rate",
+                     "sm_throttle_rate", "msg_drop_rate", "msg_corrupt_rate"):
+            rate = getattr(self, name)
+            _require(0.0 <= rate <= 1.0, f"FaultSpec.{name}", rate,
+                     "must be a probability in [0, 1]")
+        for name in ("link_degrade_floor", "sm_throttle_floor"):
+            floor = getattr(self, name)
+            _require(0.0 < floor <= 1.0, f"FaultSpec.{name}", floor,
+                     "must be in (0, 1]")
+        _require(self.straggler_slowdown >= 1.0,
+                 "FaultSpec.straggler_slowdown", self.straggler_slowdown,
+                 "must be >= 1 (a compute-time multiplier)")
+        _require(self.fault_window_ns > 0.0, "FaultSpec.fault_window_ns",
+                 self.fault_window_ns, "must be > 0")
+        _require(self.fault_window_ns <= self.horizon_ns,
+                 "FaultSpec.fault_window_ns", self.fault_window_ns,
+                 f"must not exceed horizon_ns={self.horizon_ns!r} "
+                 "(fault window beyond the sim horizon)")
+        _require(self.ack_timeout_ns > 0.0, "FaultSpec.ack_timeout_ns",
+                 self.ack_timeout_ns, "must be > 0")
+        _require(self.max_retries >= 0, "FaultSpec.max_retries",
+                 self.max_retries, "must be >= 0")
+        _require(self.backoff_base >= 1.0, "FaultSpec.backoff_base",
+                 self.backoff_base, "must be >= 1")
+        _require(self.max_backoff_ns >= self.ack_timeout_ns,
+                 "FaultSpec.max_backoff_ns", self.max_backoff_ns,
+                 f"must be >= ack_timeout_ns={self.ack_timeout_ns!r}")
+        _require(self.watchdog_interval_ns > 0.0,
+                 "FaultSpec.watchdog_interval_ns", self.watchdog_interval_ns,
+                 "must be > 0")
+        _require(self.watchdog_strikes >= 2, "FaultSpec.watchdog_strikes",
+                 self.watchdog_strikes,
+                 "must be >= 2 (one interval proves nothing)")
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -113,6 +226,7 @@ class SystemConfig:
     link: LinkSpec = field(default_factory=LinkSpec)
     switch: SwitchSpec = field(default_factory=SwitchSpec)
     jitter: JitterSpec = field(default_factory=JitterSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
     seed: int = 2026
     sync_rtt_ns: float = 500.0           # TB-group sync empty-packet RTT
 
@@ -142,6 +256,10 @@ class SystemConfig:
     def with_seed(self, seed: int) -> "SystemConfig":
         """A copy with a different master RNG seed."""
         return replace(self, seed=seed)
+
+    def with_faults(self, faults: FaultSpec) -> "SystemConfig":
+        """A copy with a different fault-injection spec."""
+        return replace(self, faults=faults)
 
 
 def dgx_h100_config(num_gpus: int = 8, seed: int = 2026) -> SystemConfig:

@@ -95,6 +95,7 @@ class Simulator:
         self._cancelled_live = 0
         self._auto_compactions = 0
         self._peak_queue_depth = 0
+        self._work_reporters: List[Callable[[], Optional[str]]] = []
         # Observability hooks, captured at construction (install first).
         self._profiler = current_profiler()
         self._metrics = current_metrics()
@@ -135,6 +136,37 @@ class Simulator:
     def peak_queue_depth(self) -> int:
         """High-water mark of the event queue."""
         return self._peak_queue_depth
+
+    # ------------------------------------------------------------------
+    # Outstanding-work diagnostics
+    # ------------------------------------------------------------------
+    def register_work_reporter(
+            self, reporter: Callable[[], Optional[str]]) -> None:
+        """Register a callable describing an entity's outstanding work.
+
+        Reporters return a one-line summary (e.g. ``"gpu 3: 5 busy TBs, 2
+        sync-pending"``) or ``None``/``""`` when the entity is idle.  They
+        are only consulted when a stall is being turned into a
+        :class:`DeadlockError`, so they may be arbitrarily slow.
+        """
+        self._work_reporters.append(reporter)
+
+    def outstanding_report(self) -> List[str]:
+        """One line per entity that still has work outstanding.
+
+        A reporter that itself crashes must not mask the deadlock being
+        diagnosed, so its exception is folded into the report instead of
+        propagating.
+        """
+        lines: List[str] = []
+        for reporter in self._work_reporters:
+            try:
+                line = reporter()
+            except Exception as exc:  # pragma: no cover - defensive
+                line = f"<work reporter {reporter!r} failed: {exc!r}>"
+            if line:
+                lines.append(line)
+        return lines
 
     # ------------------------------------------------------------------
     # Scheduling

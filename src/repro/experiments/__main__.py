@@ -38,9 +38,11 @@ from . import (
     fig16_utilization_trace,
     fig17_scalability,
     fig18_nvls_validation,
+    fig19_resilience,
     table2_scaling_validation,
 )
 from .. import obs
+from ..common.config import FaultSpec
 from ..hw.area import overhead_report
 from .cache import SimCache
 from .parallel import ExecContext
@@ -90,6 +92,13 @@ def _fig18(scale: Scale, ctx: ExecContext) -> str:
     return fig18_nvls_validation.format_table(fig18_nvls_validation.run())
 
 
+def _fig19(scale: Scale, ctx: ExecContext) -> str:
+    seed = (ctx.fault_spec.fault_seed
+            if ctx.fault_spec is not None else 0)
+    return fig19_resilience.format_table(
+        fig19_resilience.run(scale, fault_seed=seed, ctx=ctx))
+
+
 def _sensitivity(scale: Scale, ctx: ExecContext) -> str:
     return sensitivity.format_tables(
         sensitivity.bandwidth_sweep(scale, ctx=ctx),
@@ -116,6 +125,7 @@ EXPERIMENTS = {
     "fig16": _fig16,
     "fig17": _fig17,
     "fig18": _fig18,
+    "fig19": _fig19,
     "sensitivity": _sensitivity,
     "table2": _table2,
     "hw": _hw,
@@ -146,13 +156,28 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics snapshot (cache hits/"
                              "misses, task wall times) after the tables")
+    parser.add_argument("--faults", action="store_true",
+                        help="inject faults into every simulation that is "
+                             "not already faulted (see README, 'Fault "
+                             "injection & resilience')")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                        help="fault-schedule seed (default: %(default)s)")
+    parser.add_argument("--fault-intensity", type=float, default=1.0,
+                        metavar="X",
+                        help="fault intensity in [0,1] "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
     cache = None if args.no_cache else SimCache(args.cache_dir)
-    ctx = ExecContext(jobs=jobs, cache=cache)
+    fault_spec = None
+    if args.faults or args.fault_seed or args.fault_intensity != 1.0:
+        fault_spec = FaultSpec(enabled=args.faults,
+                               intensity=args.fault_intensity,
+                               fault_seed=args.fault_seed)
+    ctx = ExecContext(jobs=jobs, cache=cache, fault_spec=fault_spec)
 
     metrics = obs.MetricsRegistry() if args.metrics else None
     if metrics is not None:

@@ -36,7 +36,7 @@ from typing import Any, Dict, Optional
 #: Bump on any change to the RunSummary schema *or* to the simulation
 #: model's observable behaviour — on-disk entries from older schemas are
 #: simply never looked up again.
-CACHE_SCHEMA = "v1"
+CACHE_SCHEMA = "v2"
 
 
 def canonical(value: Any) -> Any:

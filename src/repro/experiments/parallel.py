@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..common.config import SystemConfig
+from ..common.config import FaultSpec, SystemConfig
 from ..common.errors import WorkloadError
 from ..llm.graph import Graph
 from ..obs import current_metrics
@@ -239,6 +239,14 @@ class ExecContext:
 
     jobs: int = 1
     cache: Optional[SimCache] = None
+    #: When set *and enabled*, every task whose config has faults disabled
+    #: is re-issued with this fault spec before fingerprinting — faulted
+    #: and fault-free runs can never share a cache entry (the spec lives
+    #: inside SystemConfig, so it enters the task fingerprint).  Tasks
+    #: that already carry an enabled spec (e.g. fig19's own intensity
+    #: sweep) keep theirs.  A disabled spec here is just a flag carrier
+    #: (e.g. ``--fault-seed`` for fig19) and changes nothing.
+    fault_spec: Optional[FaultSpec] = None
 
 
 #: Shared default so ``ctx=None`` callers allocate nothing.
@@ -283,8 +291,12 @@ def _run_ablation(task: SimTask):
                         dataflow=True, coordination=True,
                         coordination_features=frozenset(spec.features))
     done = {"ok": False}
-    runner.run_graphs(list(task.graphs),
-                      on_done=lambda: done.update(ok=True))
+
+    def _done() -> None:
+        done["ok"] = True
+        harness.workload_complete()
+
+    runner.run_graphs(list(task.graphs), on_done=_done)
     harness.executor.run()
     if not done["ok"]:
         raise WorkloadError(
@@ -304,6 +316,11 @@ def run_matrix(tasks: Sequence[SimTask],
     ``experiments.task_wall_ms`` histogram when metrics are installed.
     """
     ctx = ctx or SERIAL
+    if ctx.fault_spec is not None and ctx.fault_spec.enabled:
+        tasks = [task if task.config.faults.enabled
+                 else replace(task,
+                              config=task.config.with_faults(ctx.fault_spec))
+                 for task in tasks]
     metrics = current_metrics()
     out: List[Optional[RunSummary]] = [None] * len(tasks)
     fps: List[Optional[str]] = [None] * len(tasks)

@@ -1,0 +1,23 @@
+"""Fault injection and resilience machinery.
+
+Seeded, deterministic fault schedules (:mod:`.schedule`), ack/retransmit
+reliability with bounded exponential backoff (:mod:`.retry`), a sim-time
+stall watchdog (:mod:`.watchdog`), and the injector that arms it all on a
+live harness (:mod:`.injector`).  Disabled by default: with
+``SystemConfig.faults.enabled == False`` none of this is constructed and
+every simulation is bit-identical to a build without this package.
+"""
+
+from .injector import FaultCounters, FaultInjector, FaultState
+from .retry import RKEY_META, Retransmitter, RetryPolicy
+from .schedule import (FaultEvent, FaultKind, FaultSchedule, WINDOWED_KINDS,
+                       link_name)
+from .watchdog import Watchdog
+
+__all__ = [
+    "FaultCounters", "FaultInjector", "FaultState",
+    "RKEY_META", "Retransmitter", "RetryPolicy",
+    "FaultEvent", "FaultKind", "FaultSchedule", "WINDOWED_KINDS",
+    "link_name",
+    "Watchdog",
+]

@@ -1,0 +1,175 @@
+"""Deterministic, seeded fault timelines.
+
+A :class:`FaultSchedule` is a pure function of the :class:`SystemConfig`:
+every draw comes from a named :class:`~repro.common.rng.RngPool` stream
+keyed by the fault seed, so the same config always yields an identical
+timeline regardless of what the simulation itself does.
+
+Monotone degradation by construction
+------------------------------------
+The per-entity trigger draws are made *independently of the intensity*: a
+candidate fault materialises iff its latent uniform ``u`` satisfies
+``u < rate * intensity``.  Because ``u``, the onset and the duration are
+always drawn (whether or not the fault triggers), the set of faults at a
+lower intensity is a strict subset of the set at a higher one, and the
+shared faults keep identical onsets/durations — only their severity scales.
+Degradation curves over intensity are therefore structurally monotone, not
+just monotone in expectation over seeds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..common.config import FaultSpec, SystemConfig
+from ..common.rng import RngPool
+
+
+class FaultKind(enum.Enum):
+    LINK_DEGRADE = "link_degrade"     # bandwidth cut on one link direction
+    LINK_DOWN = "link_down"           # transient full outage of one link
+    PLANE_FAIL = "plane_fail"         # whole switch plane out of service
+    NVLS_FAIL = "nvls_fail"           # in-switch compute unit dead, plane up
+    GPU_STRAGGLER = "gpu_straggler"   # compute-time multiplier window
+    SM_THROTTLE = "sm_throttle"       # fraction of SM slots offline
+
+
+#: Windowed fault kinds get a matching clear event ``duration_ns`` later;
+#: the rest are permanent for the run.
+WINDOWED_KINDS = frozenset({FaultKind.LINK_DEGRADE, FaultKind.LINK_DOWN,
+                            FaultKind.GPU_STRAGGLER, FaultKind.SM_THROTTLE})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: what, where, when, how bad.
+
+    ``magnitude`` is kind-specific: surviving bandwidth fraction for
+    LINK_DEGRADE, compute-time multiplier for GPU_STRAGGLER, surviving
+    SM-slot fraction for SM_THROTTLE, unused (1.0) otherwise.
+    ``duration_ns == 0`` means the fault is permanent.
+    """
+
+    time_ns: float
+    kind: FaultKind
+    target: str
+    duration_ns: float = 0.0
+    magnitude: float = 1.0
+
+
+def link_name(gpu: int, switch: int, up: bool) -> str:
+    """Schedule target for one link direction — matches ``Link.name`` as
+    wired by :class:`~repro.interconnect.network.Network`."""
+    return (f"gpu{gpu}->sw{switch}" if up
+            else f"sw{switch}->gpu{gpu}")
+
+
+class FaultSchedule:
+    """The full fault timeline for one run, sorted by injection time."""
+
+    def __init__(self, spec: FaultSpec, events: Tuple[FaultEvent, ...]):
+        self.spec = spec
+        self.events = events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: FaultKind) -> List[FaultEvent]:
+        return [ev for ev in self.events if ev.kind is kind]
+
+    # Effective per-message probabilities (already intensity-scaled).
+    @property
+    def drop_probability(self) -> float:
+        if not self.spec.enabled:
+            return 0.0
+        return self.spec.msg_drop_rate * self.spec.intensity
+
+    @property
+    def corrupt_probability(self) -> float:
+        if not self.spec.enabled:
+            return 0.0
+        return self.spec.msg_corrupt_rate * self.spec.intensity
+
+    @classmethod
+    def build(cls, config: SystemConfig) -> "FaultSchedule":
+        """Derive the timeline for ``config`` (empty when faults disabled)."""
+        spec = config.faults
+        if not spec.enabled:
+            return cls(spec, ())
+        pool = RngPool(config.seed)
+        prefix = f"faults.{spec.fault_seed}"
+        events: List[FaultEvent] = []
+
+        def draw(stream_name: str, entity: str):
+            """Latent (trigger-uniform, onset, duration-scale) triple.
+
+            Always consumed, so the draw sequence — and hence every other
+            entity's draws — is independent of which faults trigger.
+            """
+            rng = pool.stream(f"{prefix}.{stream_name}.{entity}")
+            u = float(rng.random())
+            onset = float(rng.random()) * (spec.horizon_ns
+                                           - spec.fault_window_ns)
+            dur_scale = 0.5 + float(rng.random())   # in [0.5, 1.5)
+            return u, onset, dur_scale
+
+        def windowed(kind: FaultKind, stream: str, entity: str,
+                     target: str, rate: float, magnitude: float) -> None:
+            u, onset, dur_scale = draw(stream, entity)
+            if u < rate * spec.intensity:
+                # Window length also grows with intensity (x0.5 at 0 to
+                # x1.5 at 1): shared faults keep their onsets across
+                # intensities, but higher intensity holds each one longer —
+                # this keeps the degradation curve monotone even where
+                # discrete-event timing noise would otherwise wash out the
+                # severity interpolation alone.
+                events.append(FaultEvent(
+                    time_ns=onset, kind=kind, target=target,
+                    duration_ns=(spec.fault_window_ns * dur_scale
+                                 * (0.5 + spec.intensity)),
+                    magnitude=magnitude))
+
+        # Severities interpolate from harmless at intensity 0 to the spec's
+        # configured worst case at intensity 1.
+        degrade_bw = 1.0 - (1.0 - spec.link_degrade_floor) * spec.intensity
+        slowdown = 1.0 + (spec.straggler_slowdown - 1.0) * spec.intensity
+        throttle = 1.0 - (1.0 - spec.sm_throttle_floor) * spec.intensity
+
+        for gpu in range(config.num_gpus):
+            for sw in range(config.num_switches):
+                for up in (True, False):
+                    name = link_name(gpu, sw, up)
+                    windowed(FaultKind.LINK_DEGRADE, "link_degrade",
+                             name, name, spec.link_degrade_rate, degrade_bw)
+                    windowed(FaultKind.LINK_DOWN, "link_down",
+                             name, name, spec.link_down_rate, 0.0)
+
+        # Plane failures are permanent; at least one plane must survive, so
+        # later-onset candidates beyond num_switches-1 are discarded.
+        plane_candidates: List[FaultEvent] = []
+        for sw in range(config.num_switches):
+            u, onset, _ = draw("plane_fail", f"sw{sw}")
+            if u < spec.plane_fail_rate * spec.intensity:
+                plane_candidates.append(FaultEvent(
+                    time_ns=onset, kind=FaultKind.PLANE_FAIL,
+                    target=f"sw:{sw}"))
+        plane_candidates.sort(key=lambda ev: (ev.time_ns, ev.target))
+        events.extend(plane_candidates[:max(config.num_switches - 1, 0)])
+
+        for sw in range(config.num_switches):
+            u, onset, _ = draw("nvls_fail", f"sw{sw}")
+            if u < spec.nvls_fail_rate * spec.intensity:
+                events.append(FaultEvent(
+                    time_ns=onset, kind=FaultKind.NVLS_FAIL,
+                    target=f"sw:{sw}"))
+
+        for gpu in range(config.num_gpus):
+            windowed(FaultKind.GPU_STRAGGLER, "straggler", f"gpu{gpu}",
+                     f"gpu:{gpu}", spec.gpu_straggler_rate, slowdown)
+            windowed(FaultKind.SM_THROTTLE, "sm_throttle", f"gpu{gpu}",
+                     f"gpu:{gpu}", spec.sm_throttle_rate, throttle)
+
+        events.sort(key=lambda ev: (ev.time_ns, ev.kind.value, ev.target))
+        return cls(spec, tuple(events))

@@ -33,6 +33,7 @@ from ..common.events import Simulator
 from ..common.rng import RngPool
 from ..obs import current_metrics, current_tracer
 from ..cais.coordination import SyncPhase
+from ..faults.retry import RKEY_META
 from ..interconnect.message import Message, Op, gpu_node
 from ..interconnect.network import Network
 from .gpu import Gpu
@@ -52,10 +53,16 @@ class Executor:
                  throttle_window: Optional[int] = None,
                  jitter_enabled: bool = True,
                  fair_share: bool = False,
-                 reduce_queue_limit: Optional[int] = None):
+                 reduce_queue_limit: Optional[int] = None,
+                 fault_state=None):
         self.sim = sim
         self.config = config
         self.network = network
+        # Fault-injection state (repro.faults): when present, CAIS
+        # reduction contributions ride the ack/retransmit protocol and
+        # GPUs consume the resulting RED_CAIS_ACK control traffic.
+        self._fault_state = fault_state
+        self._red_seq = 0
         self.rng = RngPool(config.seed)
         self._jitter_enabled = jitter_enabled
         window = config.jitter.dispatch_shuffle_window if jitter_enabled else 1
@@ -73,6 +80,8 @@ class Executor:
                 gpu.policy = FairSharePolicy(
                     gpu, max(window, 1), self.rng.stream(f"dispatch-{g}"))
             gpu.on_dispatch = self._tb_start
+            if fault_state is not None:
+                gpu.handlers.append(self._on_red_ack)
             self.gpus.append(gpu)
         #: Optional reduction-VC dispatch pacing depth (ablation knob).
         self.reduce_queue_limit = reduce_queue_limit
@@ -241,6 +250,9 @@ class Executor:
         if self._tr.enabled:
             self._phase_begin(tb, "pre")
         duration = tb.kernel.tb_pre_ns * self._jitter(tb.gpu_index)
+        slowdown = self.gpus[tb.gpu_index].compute_slowdown
+        if slowdown != 1.0:              # straggler fault window
+            duration *= slowdown
         self.total_compute_ns += duration
         self.sim.schedule(duration, self._tb_after_pre, tb)
 
@@ -307,14 +319,43 @@ class Executor:
             gpu.memory.add_local_contribution(op.address, op.payload)
             return
         if op.transport is Transport.CAIS:
+            meta = {"expected": op.expected}
+            state = self._fault_state
+            if state is not None:
+                self._red_seq += 1
+                rkey = ("red", gpu.index, op.address.home_gpu,
+                        op.address.offset, self._red_seq)
+                meta[RKEY_META] = rkey
             msg = Message(op=Op.RED_CAIS, src=gpu_node(gpu.index),
                           dst=gpu_node(op.address.home_gpu),
                           payload_bytes=op.chunk_bytes, address=op.address,
-                          payload=op.payload, meta={"expected": op.expected})
+                          payload=op.payload, meta=meta)
             # TB-aware throttling: each mergeable request spends a credit;
             # the switch returns it when a peer's matching request arrives
             # (second-arrival crediting), so an ahead GPU stalls here.
-            gpu.synchronizer.with_credit(lambda m=msg: gpu.send(m))
+            if state is None:
+                gpu.synchronizer.with_credit(lambda m=msg: gpu.send(m))
+            else:
+                # Reliable delivery: the merge unit acks each contribution
+                # by rkey; retransmits bypass the credit window (the credit
+                # was spent by the first copy) and reroute automatically if
+                # the original plane has since failed.
+                def send_tracked(m=msg, op=op, key=rkey) -> None:
+                    gpu.send(m)
+
+                    def resend(attempt: int) -> None:
+                        copy = Message(
+                            op=Op.RED_CAIS, src=gpu_node(gpu.index),
+                            dst=gpu_node(op.address.home_gpu),
+                            payload_bytes=op.chunk_bytes,
+                            address=op.address, payload=op.payload,
+                            meta={"expected": op.expected, RKEY_META: key,
+                                  "retry": attempt})
+                        gpu.send(copy)
+
+                    state.retransmitter.track(key, resend)
+
+                gpu.synchronizer.with_credit(send_tracked)
         elif op.transport is Transport.NVLS:
             msg = Message(op=Op.MULTIMEM_RED, src=gpu_node(gpu.index),
                           dst=gpu_node(op.address.home_gpu),
@@ -330,6 +371,13 @@ class Executor:
                                 "partial": True})
             gpu.send(msg)
 
+    def _on_red_ack(self, msg: Message) -> bool:
+        """Consume merge-unit acks for tracked reduction contributions."""
+        if msg.op is Op.RED_CAIS_ACK and RKEY_META in msg.meta:
+            self._fault_state.retransmitter.ack(msg.meta[RKEY_META])
+            return True
+        return False
+
     def _tb_load_ready(self, tb: ThreadBlock) -> None:
         tb.loads_outstanding -= 1
         if tb.loads_outstanding == 0:
@@ -341,6 +389,9 @@ class Executor:
             self._phase_begin(tb, "post")
         tb.state = TBState.COMPUTE_POST
         duration = tb.kernel.tb_post_ns * self._jitter(tb.gpu_index)
+        slowdown = self.gpus[tb.gpu_index].compute_slowdown
+        if slowdown != 1.0:              # straggler fault window
+            duration *= slowdown
         self.total_compute_ns += duration
         self.sim.schedule(duration, self._tb_done, tb)
 
@@ -378,7 +429,10 @@ class Executor:
         stuck = {kid: left for kid, left in self._kernel_remaining.items()
                  if left > 0}
         if stuck and until is None:
+            outstanding = self.sim.outstanding_report()
+            detail = ("; outstanding work: " + "; ".join(outstanding)
+                      if outstanding else "")
             raise DeadlockError(
                 f"event queue drained with unfinished kernels: {stuck} "
-                f"(missing dependency signals or sync releases?)")
+                f"(missing dependency signals or sync releases?){detail}")
         return self.sim.now

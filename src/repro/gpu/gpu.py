@@ -22,7 +22,7 @@ from ..common.events import Simulator
 from ..interconnect.message import Message
 from ..interconnect.network import Network
 from .memory import MemoryController
-from .scheduler import DispatchPolicy, FifoPolicy
+from .scheduler import DispatchPolicy, FifoPolicy, effective_capacity
 from .synchronizer import Synchronizer
 from .threadblock import ThreadBlock, TBState
 
@@ -69,6 +69,11 @@ class Gpu:
         #: SMs across concurrently running kernels).
         self.running_per_kernel: Dict[int, int] = {}
         self.tbs_dispatched = 0
+        # Fault-injection state (repro.faults): a straggler window scales
+        # every TB's compute time; an SM-throttle window caps the usable
+        # slot count.  Both default to the exact fault-free values.
+        self.compute_slowdown = 1.0
+        self._throttle_fraction = 1.0
         # Slot-occupancy integral (slot-ns) for GPU-utilization metrics.
         self._busy_integral_ns = 0.0
         self._busy_since = 0.0
@@ -128,8 +133,29 @@ class Gpu:
             del self.running_per_kernel[kid]
         self._try_dispatch(pool)
 
+    def set_sm_throttle(self, fraction: float) -> None:
+        """Cap the usable SM-slot fraction (fault window); 1.0 restores.
+
+        Already-resident TBs keep their slots; the cap only gates new
+        dispatches, like SMs being taken offline as they drain.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(
+                f"SM throttle fraction must be in (0, 1], got {fraction}")
+        restored = fraction > self._throttle_fraction
+        self._throttle_fraction = fraction
+        if restored:
+            for pool in self._capacity:
+                self._try_dispatch(pool)
+
+    def _effective_capacity(self, pool: str) -> int:
+        capacity = self._capacity[pool]
+        if self._throttle_fraction >= 1.0:
+            return capacity
+        return effective_capacity(capacity, self._throttle_fraction)
+
     def _try_dispatch(self, pool: str) -> None:
-        while self._used[pool] < self._capacity[pool]:
+        while self._used[pool] < self._effective_capacity(pool):
             if self._synced[pool]:
                 # Released pre-launch syncs dispatch with priority so the
                 # cross-GPU alignment the sync bought is not re-shuffled.
@@ -224,6 +250,28 @@ class Gpu:
         if makespan_ns <= 0:
             return 0.0
         return self.slot_busy_ns() / (self.total_slots * makespan_ns)
+
+    def outstanding_work(self) -> str:
+        """One-line summary of unfinished work (deadlock diagnostics).
+
+        Empty string when this GPU is fully idle.
+        """
+        busy = sum(self._used.values())
+        ready = sum(len(q) for q in self._ready.values())
+        synced = sum(len(q) for q in self._synced.values())
+        pending = sum(self._sync_pending.values())
+        if not (busy or ready or synced or pending):
+            return ""
+        parts = []
+        if busy:
+            parts.append(f"{busy} resident TBs")
+        if ready:
+            parts.append(f"{ready} ready")
+        if synced:
+            parts.append(f"{synced} sync-released")
+        if pending:
+            parts.append(f"{pending} sync-pending")
+        return f"gpu {self.index}: " + ", ".join(parts)
 
     def ready_count(self, pool: str = DEFAULT_POOL) -> int:
         return len(self._ready.get(pool, []))

@@ -19,6 +19,18 @@ import numpy as np
 from ..obs import current_metrics
 
 
+def effective_capacity(capacity: int, throttle_fraction: float) -> int:
+    """SM-slot capacity surviving an SM-throttle fault window.
+
+    At least one slot always survives — a fully dead GPU is not a fault
+    mode the paper's resilience question covers (it asks how much speedup
+    *degraded* members cost, not how to run collectives without a member).
+    """
+    if throttle_fraction >= 1.0:
+        return capacity
+    return max(1, int(capacity * throttle_fraction))
+
+
 class DispatchPolicy:
     """Chooses which ready TB a GPU dispatches next."""
 

@@ -49,6 +49,9 @@ class Synchronizer:
             return                        # request already in flight
         self.syncs_requested += 1
         plane = plane_for_group(group_id, self.network.config.num_switches)
+        # Steer around failed planes; the remap is shared by all GPUs, so
+        # a group still converges on one (healthy) sync table.
+        plane = self.network.route_plane(plane)
         msg = Message(op=Op.SYNC_REQ, src=gpu_node(self.gpu_index),
                       dst=switch_node(plane), group_id=group_id,
                       meta={"phase": phase.value, "expected": expected})

@@ -46,6 +46,12 @@ class Link:
         self._rr_index = 0
         self._busy = False
         self.peak_queue_depth = 0
+        # Fault-injection state (repro.faults): bandwidth derating, transient
+        # outage, and a per-message drop/corrupt hook.  Defaults leave the
+        # fault-free fast path bit-identical (factor 1.0 multiplies exactly).
+        self._bw_factor = 1.0
+        self._down = False
+        self.fault_hook: Optional[Callable[[Message], bool]] = None
         # Backpressure waiters: (traffic class, threshold, callback).
         self._room_waiters: Deque = deque()
         # Observability (captured at wiring time; null objects when off).
@@ -117,6 +123,31 @@ class Link:
             callback()
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_bandwidth_factor(self, factor: float) -> None:
+        """Derate (or restore) the link rate; applies to future messages."""
+        if factor <= 0.0:
+            raise SimulationError(
+                f"link {self.name}: bandwidth factor must be > 0, "
+                f"got {factor}")
+        self._bw_factor = factor
+
+    def set_down(self, down: bool) -> None:
+        """Take the link out of (or back into) service.
+
+        A message already serializing finishes (committed flits drain) but
+        nothing new starts; queued traffic resumes when the link comes up.
+        """
+        self._down = down
+        if not down and not self._busy:
+            self._start_next()
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _queue_for(self, msg: Message) -> Deque[Message]:
@@ -140,12 +171,18 @@ class Link:
         return None
 
     def _start_next(self) -> None:
+        if self._down:
+            self._busy = False
+            return
         msg = self._pick_next()
         if msg is None:
             self._busy = False
             return
         self._busy = True
-        serialization = msg.wire_bytes() / self.spec.bandwidth_gbps
+        bandwidth = self.spec.bandwidth_gbps
+        if self._bw_factor != 1.0:
+            bandwidth *= self._bw_factor
+        serialization = msg.wire_bytes() / bandwidth
         now = self.sim.now
         self.tracker.record(now, now + serialization, msg.wire_bytes())
         if self._obs_on:
@@ -165,6 +202,9 @@ class Link:
         if self._tr.enabled and self._tx_span >= 0:
             self._tr.end(self._tx_span, self.sim.now)
             self._tx_span = -1
-        self.sim.schedule(self.spec.latency_ns, self.deliver, msg)
+        # The fault hook may drop the message on the wire (True) or mark it
+        # corrupted in place; either way link-level bandwidth was consumed.
+        if self.fault_hook is None or not self.fault_hook(msg):
+            self.sim.schedule(self.spec.latency_ns, self.deliver, msg)
         self._start_next()
         self._admit_waiters()

@@ -67,6 +67,10 @@ class Op(enum.Enum):
     SYNC_RELEASE = "sync.release"
     CREDIT = "credit"
 
+    # Reliability plane (repro.faults): per-chunk delivery ack for the
+    # retransmitting ring collective.
+    CHUNK_ACK = "chunk.ack"
+
 
 class TrafficClass(enum.Enum):
     """Virtual-channel class used by CAIS traffic control (Section III-C)."""
@@ -147,3 +151,18 @@ class Message:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Message({self.op.value}, {self.src}->{self.dst}, "
                 f"{self.payload_bytes}B, addr={self.address})")
+
+
+#: Metadata key marking a message damaged in flight (repro.faults).  The
+#: payload itself is left intact so a buggy receiver that *uses* a corrupt
+#: message shows up as silent value corruption in the correctness checks.
+CORRUPTED_META = "corrupted"
+
+
+def mark_corrupted(msg: Message) -> None:
+    """Flag ``msg`` as damaged on the wire (checksum failure at receive)."""
+    msg.meta[CORRUPTED_META] = True
+
+
+def is_corrupted(msg: Message) -> bool:
+    return bool(msg.meta.get(CORRUPTED_META))

@@ -11,7 +11,7 @@ fabric only requires a ``receive(msg)`` callable per GPU.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..common.config import SystemConfig
 from ..common.errors import RoutingError, SimulationError
@@ -35,6 +35,11 @@ class Network:
             for s in range(config.num_switches)
         ]
         self._gpu_receivers: Dict[int, Callable[[Message], None]] = {}
+        # Fault-injection state: planes taken out of service and the
+        # deterministic remap of new traffic onto the survivors.
+        self._failed_planes: Set[int] = set()
+        self._healthy_planes: List[int] = list(range(config.num_switches))
+        self.reroutes = 0
         # Links keyed by (gpu, switch): "up" is GPU -> switch, "down" is
         # switch -> GPU.
         self.up_links: Dict[Tuple[int, int], Link] = {}
@@ -79,14 +84,64 @@ class Network:
         self._gpu_receivers[gpu_index] = receiver
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail_plane(self, plane: int) -> None:
+        """Remove a switch plane from service for all *new* injections.
+
+        In-flight traffic on the plane still drains (the switch keeps
+        forwarding; its compute engines are failed separately), which gives
+        sessions already homed there a graceful exit.  The last healthy
+        plane can never be failed.
+        """
+        if plane in self._failed_planes:
+            return
+        survivors = [s for s in range(self.config.num_switches)
+                     if s != plane and s not in self._failed_planes]
+        if not survivors:
+            raise SimulationError(
+                f"cannot fail switch plane {plane}: it is the last "
+                f"healthy plane")
+        self._failed_planes.add(plane)
+        self._healthy_planes = survivors
+
+    def route_plane(self, plane: int) -> int:
+        """Steer a nominal plane choice around failed planes.
+
+        The remap is a pure function of the nominal plane and the shared
+        failed set, so every GPU redirects a given address to the *same*
+        surviving plane — mergeable traffic still converges.
+        """
+        if plane not in self._failed_planes:
+            return plane
+        self.reroutes += 1
+        healthy = self._healthy_planes
+        return healthy[plane % len(healthy)]
+
+    @property
+    def failed_planes(self) -> Set[int]:
+        return set(self._failed_planes)
+
+    def install_fault_hook(
+            self, hook: Callable[[Message], bool]) -> None:
+        """Arm the per-message drop/corrupt hook on every link."""
+        for link in self.all_links():
+            link.fault_hook = hook
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def plane_for(self, msg: Message, stripe: Optional[int] = None) -> int:
         """Switch plane a message travels through."""
         if msg.address is not None:
-            return plane_for_address(msg.address, self.config.num_switches)
-        return plane_for_stripe(stripe if stripe is not None else msg.msg_id,
-                                self.config.num_switches)
+            plane = plane_for_address(msg.address, self.config.num_switches)
+        else:
+            plane = plane_for_stripe(
+                stripe if stripe is not None else msg.msg_id,
+                self.config.num_switches)
+        if self._failed_planes:
+            plane = self.route_plane(plane)
+        return plane
 
     def send_from_gpu(self, gpu_index: int, msg: Message,
                       stripe: Optional[int] = None) -> int:

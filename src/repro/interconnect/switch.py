@@ -43,6 +43,9 @@ class Switch:
         #: Output links toward each GPU, wired by the Network.
         self.down_links: Dict[int, Link] = {}
         self.engines: List[SwitchEngine] = []
+        #: Set by fault injection when the whole plane is out of service for
+        #: new traffic (in-flight messages still drain through it).
+        self.failed = False
         self.messages_handled = 0
         self.ops_seen: Counter = Counter()
         self._tr = current_tracer()
@@ -86,6 +89,26 @@ class Switch:
             if engine.process(self, msg, in_port):
                 return
         self.forward(msg)
+
+    def outstanding_work(self) -> str:
+        """One-line summary of open engine sessions (deadlock diagnostics).
+
+        Empty string when the plane is quiescent — engines expose their
+        in-flight state via an ``open_sessions()`` method when they have one.
+        """
+        opens = []
+        for engine in self.engines:
+            count_fn = getattr(engine, "open_sessions", None)
+            if count_fn is None:
+                continue
+            count = count_fn()
+            if count:
+                opens.append(f"{type(engine).__name__}={count}")
+        if not opens:
+            return ""
+        state = " (failed)" if self.failed else ""
+        return f"switch {self.index}{state}: open sessions " + \
+            ", ".join(opens)
 
     def forward(self, msg: Message) -> None:
         """Unicast ``msg`` out the port toward its destination GPU."""

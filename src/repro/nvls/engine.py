@@ -63,16 +63,46 @@ class _PushSession:
 class NvlsEngine:
     """Switch engine implementing the three NVLS multimem primitives."""
 
-    def __init__(self) -> None:
+    #: Marks this engine as an in-switch *compute* unit: an NVLS_FAIL fault
+    #: kills it while the plane keeps forwarding plain traffic.
+    COMPUTE_UNIT = True
+
+    def __init__(self, fault_state=None) -> None:
         self._pull_sessions: Dict[Tuple[int, Address], _PullSession] = {}
         self._push_sessions: Dict[Address, _PushSession] = {}
         self.multicasts = 0
         self.pull_reductions = 0
         self.push_reductions = 0
+        self.faulted = False
+        self.faulted_drops = 0
+        self._fault_state = fault_state
         self._tr = current_tracer()
         self._mx = current_metrics()
         self._next_aid = 0
         self._track = -1                 # resolved on first switch contact
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def fail(self, switch: Switch) -> None:
+        """Kill the compute unit: abort in-flight sessions, swallow future
+        multimem ops.  The comm layer learns of the fault via the shared
+        fault state and reruns aborted collectives over the ring path."""
+        if self.faulted:
+            return
+        self.faulted = True
+        aborted = len(self._pull_sessions) + len(self._push_sessions)
+        for session in list(self._pull_sessions.values()):
+            self._session_close(switch, "pull", session)
+        for session in list(self._push_sessions.values()):
+            self._session_close(switch, "push", session)
+        self._pull_sessions.clear()
+        self._push_sessions.clear()
+        if self._fault_state is not None:
+            if aborted:
+                self._fault_state.counters.bump("nvls_sessions_aborted",
+                                                aborted)
+            self._fault_state.nvls_unit_failed(switch.index)
 
     # ------------------------------------------------------------------
     # Observability helpers
@@ -105,6 +135,16 @@ class NvlsEngine:
     # SwitchEngine interface
     # ------------------------------------------------------------------
     def process(self, switch: Switch, msg: Message, in_port: int) -> bool:
+        if self.faulted:
+            # A dead compute unit consumes (and loses) multimem traffic
+            # addressed to it; plain forwarding is untouched.
+            if msg.op in (Op.MULTIMEM_ST, Op.MULTIMEM_LD_REDUCE_REQ,
+                          Op.MULTIMEM_RED) or (
+                    msg.op is Op.MULTIMEM_LD_REDUCE_RESP
+                    and "nvls_pull" in msg.meta):
+                self.faulted_drops += 1
+                return True
+            return False
         if msg.op is Op.MULTIMEM_ST:
             self._multicast(switch, msg)
             return True

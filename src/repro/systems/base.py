@@ -22,6 +22,7 @@ from ..collectives.ring import RingCollective
 from ..common.config import SystemConfig
 from ..common.errors import SimulationError, WorkloadError
 from ..common.events import Simulator
+from ..faults import FaultInjector, FaultSchedule, FaultState
 from ..gpu.executor import Executor
 from ..interconnect.network import Network
 from ..llm.graph import CommKind, Graph, LogicalOp, OpKind
@@ -84,6 +85,14 @@ class Harness:
         self.sim = Simulator()
         self.network = Network(self.sim, config,
                                traffic_control=traffic_control)
+        # Fault injection (repro.faults): the state object is threaded
+        # through every resilience-aware component; None keeps the
+        # fault-free construction path untouched.
+        self.fault_state: Optional[FaultState] = None
+        self.fault_schedule: Optional[FaultSchedule] = None
+        if config.faults.enabled:
+            self.fault_state = FaultState(self.sim, config.faults)
+            self.fault_schedule = FaultSchedule.build(config)
         self.merge_stats: Optional[MergeStats] = None
         if merge:
             self.merge_stats = MergeStats()
@@ -96,10 +105,11 @@ class Harness:
                     self.merge_stats, config.num_gpus,
                     capacity_entries=capacity, timeout_ns=timeout,
                     emit_credits=throttle_window is not None,
-                    eviction_policy=merge_eviction_policy))
+                    eviction_policy=merge_eviction_policy,
+                    fault_state=self.fault_state))
         if nvls:
             for sw in self.network.switches:
-                sw.attach_engine(NvlsEngine())
+                sw.attach_engine(NvlsEngine(fault_state=self.fault_state))
         if sync_tables:
             for sw in self.network.switches:
                 sw.attach_engine(GroupSyncTable())
@@ -108,9 +118,45 @@ class Harness:
                                  throttle_window=throttle_window,
                                  jitter_enabled=jitter,
                                  fair_share=fair_share,
-                                 reduce_queue_limit=reduce_queue_limit)
+                                 reduce_queue_limit=reduce_queue_limit,
+                                 fault_state=self.fault_state)
         self.timeline = Timeline()
         self.executor.timeline = self.timeline
+        # Outstanding-work diagnostics: registered unconditionally (they are
+        # only consulted when a stall is being turned into a DeadlockError).
+        for gpu in self.executor.gpus:
+            self.sim.register_work_reporter(gpu.outstanding_work)
+        for sw in self.network.switches:
+            self.sim.register_work_reporter(sw.outstanding_work)
+        self.sim.register_work_reporter(self._links_outstanding)
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.fault_state is not None:
+            self.fault_injector = FaultInjector(self, self.fault_state,
+                                                self.fault_schedule)
+            self.fault_injector.install()
+
+    def workload_complete(self) -> None:
+        """Notify fault machinery that the workload's last op finished.
+
+        Cancels faults not yet injected plus all resilience timers, so the
+        event queue drains and the recorded makespan is the workload's
+        completion time, not the fault-schedule horizon.  No-op without
+        fault injection.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.quiesce()
+
+    def _links_outstanding(self) -> str:
+        queued = sum(link.queue_depth() for link in self.network.all_links())
+        down = sum(1 for link in self.network.all_links() if link.is_down)
+        if not queued and not down:
+            return ""
+        parts = []
+        if queued:
+            parts.append(f"{queued} queued messages")
+        if down:
+            parts.append(f"{down} links down")
+        return "fabric: " + ", ".join(parts)
 
     def restrict_compute_slots(self, fraction: float) -> None:
         """Model SM contention from resident communication kernels
@@ -136,6 +182,10 @@ class Harness:
             tracer.flush(makespan)
         self.sim.publish_metrics()
         metrics = current_metrics()
+        if self.fault_state is not None:
+            merged = self.fault_state.counters.as_details()
+            merged.update(details)
+            details = merged
         return RunResult(system=system, makespan_ns=makespan,
                          compute_ns=self.executor.total_compute_ns,
                          tbs_completed=self.executor.tbs_completed,
@@ -163,7 +213,8 @@ class RingComm:
 
     def __init__(self, harness: Harness, chunk_bytes: int = 262144):
         self.driver = RingCollective(harness.network, harness.executor.gpus,
-                                     chunk_bytes=chunk_bytes)
+                                     chunk_bytes=chunk_bytes,
+                                     fault_state=harness.fault_state)
 
     def run(self, kind, nbytes, on_complete, on_chunk=None):
         if kind is CommKind.ALL_REDUCE:
@@ -177,21 +228,78 @@ class RingComm:
 
 
 class NvlsComm:
-    """NVLS multimem transport adapter (TP-NVLS / SP-NVLS / *-NVLS)."""
+    """NVLS multimem transport adapter (TP-NVLS / SP-NVLS / *-NVLS).
+
+    Under fault injection the adapter is the graceful-degradation seam:
+    when a switch's NVLS compute unit fails, in-flight NVLS runs are
+    aborted cleanly and re-executed on a reliable ring transport, and all
+    subsequent collectives go straight to the ring.  Every fallback is
+    counted in the run's fault counters.
+    """
 
     def __init__(self, harness: Harness, chunk_bytes: int = 262144):
+        self.harness = harness
+        self.chunk_bytes = chunk_bytes
         self.driver = NvlsCollective(harness.network, harness.executor.gpus,
                                      chunk_bytes=chunk_bytes)
+        self._fault_state = harness.fault_state
+        self._ring: Optional[RingCollective] = None
+        #: run_id -> (kind, nbytes, on_complete, on_chunk) for runs that
+        #: must be replayed on the ring if the NVLS unit dies mid-flight.
+        self._active: Dict[int, tuple] = {}
+        if self._fault_state is not None:
+            self._fault_state.on_nvls_fault(self._abort_active)
 
     def run(self, kind, nbytes, on_complete, on_chunk=None):
+        state = self._fault_state
+        if state is None:
+            self._dispatch(self.driver, kind, nbytes, on_complete, on_chunk)
+            return
+        if state.nvls_faulted:
+            state.counters.bump("nvls_fallbacks")
+            self._dispatch(self._ring_driver(), kind, nbytes, on_complete,
+                           on_chunk)
+            return
+        holder = {}
+
+        def done() -> None:
+            self._active.pop(holder.get("id"), None)
+            on_complete()
+
+        run_id = self._dispatch(self.driver, kind, nbytes, done, on_chunk)
+        holder["id"] = run_id
+        self._active[run_id] = (kind, nbytes, on_complete, on_chunk)
+
+    def _dispatch(self, driver, kind, nbytes, on_complete, on_chunk):
         if kind is CommKind.ALL_REDUCE:
-            self.driver.all_reduce(nbytes, on_complete, on_chunk)
-        elif kind is CommKind.REDUCE_SCATTER:
-            self.driver.reduce_scatter(nbytes, on_complete, on_chunk)
-        elif kind is CommKind.ALL_GATHER:
-            self.driver.all_gather(nbytes, on_complete, on_chunk)
-        else:  # pragma: no cover - enum is exhaustive
-            raise WorkloadError(f"unknown collective {kind}")
+            return driver.all_reduce(nbytes, on_complete, on_chunk)
+        if kind is CommKind.REDUCE_SCATTER:
+            return driver.reduce_scatter(nbytes, on_complete, on_chunk)
+        if kind is CommKind.ALL_GATHER:
+            return driver.all_gather(nbytes, on_complete, on_chunk)
+        raise WorkloadError(f"unknown collective {kind}")
+        # pragma: no cover - enum is exhaustive
+
+    def _ring_driver(self) -> RingCollective:
+        if self._ring is None:
+            self._ring = RingCollective(self.harness.network,
+                                        self.harness.executor.gpus,
+                                        chunk_bytes=self.chunk_bytes,
+                                        fault_state=self._fault_state)
+        return self._ring
+
+    def _abort_active(self) -> None:
+        """NVLS unit died: abort in-flight runs, replay them on the ring."""
+        state = self._fault_state
+        for run_id, (kind, nbytes, on_complete, on_chunk) in \
+                list(self._active.items()):
+            if not self.driver.abort(run_id):
+                continue
+            del self._active[run_id]
+            state.counters.bump("nvls_aborts")
+            state.counters.bump("nvls_fallbacks")
+            self._dispatch(self._ring_driver(), kind, nbytes, on_complete,
+                           on_chunk)
 
 
 class BarrierRunner:

@@ -84,8 +84,12 @@ class System:
         harness = self._build()
         runner = self._runner(harness)
         finished = {"done": False}
-        runner.run_graphs(graphs,
-                          on_done=lambda: finished.update(done=True))
+
+        def _done() -> None:
+            finished["done"] = True
+            harness.workload_complete()
+
+        runner.run_graphs(graphs, on_done=_done)
         harness.executor.run()
         if not finished["done"]:
             raise WorkloadError(

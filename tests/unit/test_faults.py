@@ -1,0 +1,219 @@
+"""Unit tests for the fault-injection subsystem (repro.faults).
+
+Covers the determinism and nesting guarantees of the seeded schedule,
+the bounded-backoff retransmission protocol, watchdog stall detection,
+config validation of the fault model, and the NVLS-failure fallback
+accounting.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (ConfigError, FaultSpec, JitterSpec,
+                                 dgx_h100_config)
+from repro.common.errors import DeadlockError
+from repro.common.events import Simulator
+from repro.faults import (FaultCounters, FaultKind, FaultSchedule,
+                          FaultState, Retransmitter, RetryPolicy, Watchdog,
+                          WINDOWED_KINDS)
+
+
+def faulted_config(**kwargs):
+    spec = FaultSpec(enabled=True, **kwargs)
+    return dgx_h100_config().with_faults(spec)
+
+
+# ----------------------------------------------------------------------
+# Schedule determinism and monotone nesting
+# ----------------------------------------------------------------------
+def test_schedule_is_deterministic():
+    cfg = faulted_config(intensity=0.7, fault_seed=3)
+    a = FaultSchedule.build(cfg)
+    b = FaultSchedule.build(cfg)
+    assert a.events == b.events
+    assert len(a) > 0
+
+
+def test_schedule_differs_across_fault_seeds():
+    a = FaultSchedule.build(faulted_config(fault_seed=0))
+    b = FaultSchedule.build(faulted_config(fault_seed=1))
+    assert a.events != b.events
+
+
+def test_disabled_spec_yields_empty_schedule():
+    sched = FaultSchedule.build(dgx_h100_config())
+    assert len(sched) == 0
+    assert sched.drop_probability == 0.0
+
+
+def test_fault_sets_nest_across_intensities():
+    """Every fault present at a lower intensity must appear at every
+    higher one, at the same onset (only severity/duration may change)."""
+    onsets = {}
+    for intensity in (0.25, 0.5, 0.75, 1.0):
+        sched = FaultSchedule.build(faulted_config(intensity=intensity))
+        onsets[intensity] = {(ev.kind, ev.target): ev.time_ns
+                             for ev in sched.events}
+    grid = sorted(onsets)
+    for lo, hi in zip(grid, grid[1:]):
+        assert set(onsets[lo]) <= set(onsets[hi]), (lo, hi)
+        for key, onset in onsets[lo].items():
+            assert onsets[hi][key] == onset
+    assert len(onsets[1.0]) > len(onsets[0.25])
+
+
+def test_window_duration_grows_with_intensity():
+    lo = FaultSchedule.build(faulted_config(intensity=0.5))
+    hi = FaultSchedule.build(faulted_config(intensity=1.0))
+    lo_by_key = {(ev.kind, ev.target): ev for ev in lo.events
+                 if ev.kind in WINDOWED_KINDS}
+    for ev in hi.events:
+        shared = lo_by_key.get((ev.kind, ev.target))
+        if shared is not None:
+            assert ev.duration_ns > shared.duration_ns
+
+
+def test_plane_failures_spare_at_least_one_plane():
+    cfg = faulted_config(plane_fail_rate=1.0, intensity=1.0)
+    sched = FaultSchedule.build(cfg)
+    planes = sched.by_kind(FaultKind.PLANE_FAIL)
+    assert 0 < len(planes) <= cfg.num_switches - 1
+
+
+# ----------------------------------------------------------------------
+# Retry policy and retransmitter
+# ----------------------------------------------------------------------
+def test_backoff_is_exponential_and_bounded():
+    policy = RetryPolicy(ack_timeout_ns=100.0, max_retries=10,
+                         backoff_base=2.0, max_backoff_ns=1000.0)
+    timeouts = [policy.timeout_for(a) for a in range(12)]
+    assert timeouts[0] == 100.0
+    assert timeouts[1] == 200.0
+    assert timeouts[2] == 400.0
+    assert all(t <= 1000.0 for t in timeouts)
+    assert timeouts == sorted(timeouts)          # never shrinks
+    assert timeouts[-1] == 1000.0                # cap is reached
+
+
+def test_retransmitter_resends_then_exhausts():
+    sim = Simulator()
+    policy = RetryPolicy(ack_timeout_ns=10.0, max_retries=3,
+                         backoff_base=2.0, max_backoff_ns=1e6)
+    counters = FaultCounters()
+    rtx = Retransmitter(sim, policy, counters)
+    attempts = []
+    rtx.track(("k",), attempts.append)
+    sim.run()
+    assert attempts == [1, 2, 3]                 # bounded by max_retries
+    assert counters.get("retries") == 3
+    assert counters.get("retry_exhausted") == 1
+    assert rtx.outstanding() == 0
+
+
+def test_ack_cancels_retransmission():
+    sim = Simulator()
+    counters = FaultCounters()
+    rtx = Retransmitter(sim, RetryPolicy(ack_timeout_ns=10.0), counters)
+    attempts = []
+    rtx.track(("k",), attempts.append)
+    sim.schedule(5.0, lambda: rtx.ack(("k",)))
+    sim.run()
+    assert attempts == []
+    assert counters.get("retries") == 0
+
+
+def test_timeout_scale_stretches_deadlines():
+    sim = Simulator()
+    counters = FaultCounters()
+    rtx = Retransmitter(sim, RetryPolicy(ack_timeout_ns=10.0,
+                                         max_retries=1), counters)
+    fired = []
+    rtx.track(("slow",), lambda a: fired.append(sim.now), timeout_scale=4.0)
+    sim.run()
+    assert fired and fired[0] == pytest.approx(40.0)
+
+
+def test_receiver_dedup():
+    sim = Simulator()
+    counters = FaultCounters()
+    rtx = Retransmitter(sim, RetryPolicy(), counters)
+    assert rtx.accept(("rx", 1))
+    assert not rtx.accept(("rx", 1))
+    assert counters.get("duplicates_discarded") == 1
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_reports_outstanding_work_on_stall():
+    sim = Simulator()
+    sim.register_work_reporter(lambda: "gpu 0: 7 busy TBs")
+    dog = Watchdog(sim, interval_ns=100.0, strikes=3,
+                   counters=FaultCounters())
+    dog.arm()
+    sim.schedule(1e9, lambda: None)              # far-future event: queue
+    with pytest.raises(DeadlockError) as err:    # never drains, no progress
+        sim.run()
+    assert "gpu 0: 7 busy TBs" in str(err.value)
+
+
+def test_watchdog_disarm_lets_queue_drain():
+    sim = Simulator()
+    dog = Watchdog(sim, interval_ns=100.0, strikes=3,
+                   counters=FaultCounters())
+    dog.arm()
+    sim.schedule(50.0, dog.disarm)
+    sim.run()                                    # must terminate quietly
+    assert sim.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("field,value", [
+    ("intensity", 1.5),
+    ("msg_drop_rate", -0.1),
+    ("nvls_fail_rate", 2.0),
+    ("link_degrade_floor", 0.0),
+    ("straggler_slowdown", 0.5),
+    ("ack_timeout_ns", 0.0),
+    ("horizon_ns", -1.0),
+])
+def test_fault_spec_validation_names_offending_field(field, value):
+    with pytest.raises(ConfigError) as err:
+        FaultSpec(**{field: value})
+    assert f"FaultSpec.{field}" in str(err.value)
+
+
+def test_fault_window_must_fit_horizon():
+    with pytest.raises(ConfigError) as err:
+        FaultSpec(fault_window_ns=5e6, horizon_ns=2e6)
+    assert "FaultSpec.fault_window_ns" in str(err.value)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("tb_jitter", 1.0),
+    ("gpu_skew_ns", -1.0),
+    ("dispatch_shuffle_window", 0),
+])
+def test_jitter_spec_validation_names_offending_field(field, value):
+    with pytest.raises(ConfigError) as err:
+        JitterSpec(**{field: value})
+    assert f"JitterSpec.{field}" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# NVLS failure fallback accounting
+# ----------------------------------------------------------------------
+def test_nvls_failure_notifies_listeners_once_per_unit():
+    sim = Simulator()
+    state = FaultState(sim, FaultSpec(enabled=True))
+    fired = []
+    state.on_nvls_fault(lambda: fired.append(sim.now))
+    assert not state.nvls_faulted
+    state.nvls_unit_failed(0)
+    state.nvls_unit_failed(2)
+    assert state.nvls_faulted
+    assert len(fired) == 2
+    assert state.counters.get("nvls_unit_failures") == 2

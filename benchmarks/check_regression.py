@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate a fresh ``BENCH_experiments.json`` against the committed baseline.
+
+``bench_experiments.py`` measures the experiment matrix three ways
+(serial, parallel, cached).  This checker compares a fresh report with
+``benchmarks/BENCH_baseline.json`` and fails when any timed row got
+slower than the baseline by more than ``--tolerance`` (a fraction;
+default 0.25 = 25%), or when the cached row stopped being a pure
+cache-hit replay.  Speedups never fail the gate — run with ``--update``
+to re-baseline after an intentional performance change.
+
+Run:  PYTHONPATH=src python benchmarks/check_regression.py \
+          [FRESH] [--baseline PATH] [--tolerance 0.25] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Timed rows compared between the fresh report and the baseline.
+TIMED_ROWS = ("serial", "parallel", "cached")
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "BENCH_baseline.json")
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """All regressions found; empty means the gate passes."""
+    problems = []
+    if fresh.get("matrix") != baseline.get("matrix"):
+        problems.append(
+            f"matrix changed: {fresh.get('matrix')} vs baseline "
+            f"{baseline.get('matrix')} — re-baseline with --update")
+        return problems
+    for row in TIMED_ROWS:
+        fresh_s = fresh[row]["median_s"]
+        base_s = baseline[row]["median_s"]
+        limit = base_s * (1.0 + tolerance)
+        if fresh_s > limit:
+            problems.append(
+                f"{row}: {fresh_s * 1e3:.1f} ms exceeds baseline "
+                f"{base_s * 1e3:.1f} ms by more than "
+                f"{tolerance:.0%} (limit {limit * 1e3:.1f} ms)")
+    # The cached row must stay a pure replay: any miss means the run
+    # fingerprint changed and the timing comparison is meaningless.
+    misses = fresh["cached"].get("misses", 0)
+    if misses:
+        problems.append(f"cached row had {misses:.0f} cache misses "
+                        f"(expected a pure hit replay)")
+    if fresh["cached"].get("hits", 0) < fresh.get("tasks", 0):
+        problems.append(
+            f"cached row hit only {fresh['cached'].get('hits', 0):.0f} of "
+            f"{fresh.get('tasks', 0)} tasks")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="?", default="BENCH_experiments.json",
+                        help="fresh report from bench_experiments.py")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown fraction "
+                             "(default: %(default)s)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the fresh report "
+                             "instead of checking")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump(fresh, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    problems = check(fresh, baseline, args.tolerance)
+    for row in TIMED_ROWS:
+        fresh_s = fresh[row]["median_s"]
+        base_s = baseline[row]["median_s"]
+        print(f"{row:>9}: {fresh_s * 1e3:8.1f} ms  "
+              f"(baseline {base_s * 1e3:8.1f} ms, "
+              f"{fresh_s / base_s:5.2f}x)")
+    if problems:
+        print("\nREGRESSIONS:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("bench regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

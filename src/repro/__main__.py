@@ -7,6 +7,7 @@ Usage::
         --scale 0.125 --seed 7
     python -m repro --system CAIS --workload L1 --trace out.json \\
         --metrics --profile
+    python -m repro explain --workload L2 --systems CAIS TP-NVLS
     python -m repro --list
 
 The experiment harness (``python -m repro.experiments``) regenerates the
@@ -36,6 +37,13 @@ WORKLOADS = tuple(SUBLAYERS) + ("layer",)
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        # Subcommand: critical-path attribution comparison across systems
+        # (repro.experiments.explain) — everything after `explain` is its.
+        from .experiments.explain import main as explain_main
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro")
     parser.add_argument("--list", action="store_true",
                         help="list systems and models, then exit")
@@ -87,7 +95,11 @@ def main(argv=None) -> int:
     metrics = (obs.MetricsRegistry()
                if (args.metrics or args.metrics_out) else None)
     profiler = obs.SimProfiler() if args.profile else None
-    obs.install(tracer=tracer, metrics=metrics, profiler=profiler)
+    # A trace gets the causal DAG recorded too, so the exported file
+    # carries the critical-path row and its flow arrows.
+    causality = obs.CausalityRecorder() if args.trace else None
+    obs.install(tracer=tracer, metrics=metrics, profiler=profiler,
+                causality=causality)
 
     config = dgx_h100_config(num_gpus=args.gpus, seed=args.seed)
     if args.faults:

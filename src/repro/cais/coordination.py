@@ -28,6 +28,8 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 from ..common.errors import ProtocolError
 from ..interconnect.message import Message, Op, gpu_node
 from ..interconnect.switch import Switch
+from ..obs import current_causality
+from ..obs.causality import BARRIER_SYNC
 
 
 class SyncPhase(enum.Enum):
@@ -49,6 +51,9 @@ class _SyncState:
     expected: int
     arrived: Set[int] = field(default_factory=set)
     timer: object = None
+    #: Causal-node ids of the switch hops that delivered each SYNC_REQ
+    #: (repro.obs.causality; filled only when recording).
+    cz_arrivals: List[int] = field(default_factory=list)
 
 
 class GroupSyncTable:
@@ -66,6 +71,7 @@ class GroupSyncTable:
         self._states: Dict[Tuple[int, SyncPhase], _SyncState] = {}
         self.releases_broadcast = 0
         self.timeout_releases = 0
+        self._cz = current_causality()
 
     def process(self, switch: Switch, msg: Message, in_port: int) -> bool:
         if msg.op is not Op.SYNC_REQ:
@@ -87,6 +93,8 @@ class GroupSyncTable:
                 f"group {msg.group_id} expected-count mismatch: "
                 f"{state.expected} vs {expected}")
         state.arrived.add(msg.src[1])
+        if self._cz.enabled:
+            state.cz_arrivals.append(self._cz.current)
         if len(state.arrived) >= state.expected:
             self._release(switch, key, state)
         return True
@@ -98,6 +106,14 @@ class GroupSyncTable:
             state.timer.cancel()
         self.releases_broadcast += 1
         group_id, phase = key
+        if self._cz.enabled:
+            # The release broadcast is caused by every registered arrival;
+            # the critical-path walk follows the last one in.
+            now = switch.sim.now
+            self._cz.current = self._cz.node(
+                BARRIER_SYNC, now, now,
+                f"sw{switch.index} group {group_id} {phase.value} release",
+                parents=tuple((a, "sync") for a in state.cz_arrivals))
         for gpu in state.arrived:
             release = Message(op=Op.SYNC_RELEASE, src=switch.node_id,
                               dst=gpu_node(gpu), group_id=group_id,

@@ -33,6 +33,8 @@ from ..gpu.executor import Executor
 from ..gpu.kernels import KernelInstance
 from ..gpu.remote_ops import Transport
 from ..llm.graph import CommKind, Graph, LogicalOp, OpKind
+from ..obs import current_causality
+from ..obs.causality import BARRIER_SYNC
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
     from ..llm.tiling import ActivationLayout, TilingConfig
@@ -194,6 +196,7 @@ class CaisRunner:
         self.launch_overhead_ns = (
             harness.config.gpu.kernel_launch_overhead_ns
             if launch_overhead_ns is None else launch_overhead_ns)
+        self._cz = current_causality()
 
     # ------------------------------------------------------------------
     # Graph execution
@@ -213,9 +216,17 @@ class CaisRunner:
         waiting = {op.name: len(op.deps) for op in graph.ops()}
         pending = {"count": len(done)}
 
+        cz = self._cz
+
         def finish(name: str) -> None:
             if done[name]:
                 raise WorkloadError(f"op {name} finished twice")
+            if cz.enabled:
+                # Op boundary marker (see BarrierRunner.run_graph).
+                now = self.harness.sim.now
+                cz.current = cz.node(BARRIER_SYNC, now, now,
+                                     f"op {name} done",
+                                     parents=((cz.current, "dep"),))
             done[name] = True
             pending["count"] -= 1
             if pending["count"] == 0 and on_done is not None:

@@ -43,7 +43,8 @@ from ..faults.retry import RKEY_META
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.switch import Switch
 from ..metrics.merge_stats import MergeStats
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import SWITCH_MERGE
 
 
 class SessionKind(enum.Enum):
@@ -83,6 +84,9 @@ class MergeEntry:
     evict_on_ready: bool = False
     timeout_event: Optional[Event] = None
     obs_aid: int = -1                    # async-span id (tracing only)
+    #: Causal-node ids of the switch-hop events that delivered each
+    #: contribution (repro.obs.causality; filled only when recording).
+    cz_contribs: List[int] = field(default_factory=list)
 
     @property
     def home(self) -> int:
@@ -127,6 +131,7 @@ class MergeUnit:
         self._stale_fills: set = set()
         self._tr = current_tracer()
         self._mx = current_metrics()
+        self._cz = current_causality()
         self._next_aid = 0
         # (switch index, port) -> track: one trace row per merge-table bank.
         self._bank_tracks: Dict[Tuple[int, int], int] = {}
@@ -373,6 +378,10 @@ class MergeUnit:
         entry.count += 1
         entry.participants.append(msg.src[1])
         entry.acc = combine_payloads(entry.acc, msg.payload)
+        if self._cz.enabled:
+            # Ambient cause here is the switch-hop node that delivered
+            # this contribution; the flush joins all of them.
+            entry.cz_contribs.append(self._cz.current)
         # Second-arrival crediting (TB-aware throttling feedback): a
         # contribution's credit returns as soon as a *peer matches it* —
         # so a GPU running ahead (whose requests sit unmatched, it is
@@ -391,6 +400,16 @@ class MergeUnit:
 
     def _flush_reduction(self, switch: Switch, entry: MergeEntry,
                          partial: bool) -> None:
+        if self._cz.enabled:
+            # Zero-duration join node: the combined write is caused by
+            # *every* contribution; the critical-path walk follows the
+            # latest-arriving one (the straggler).
+            now = switch.sim.now
+            self._cz.current = self._cz.node(
+                SWITCH_MERGE, now, now,
+                f"sw{switch.index} merge flush"
+                f"{' (partial)' if partial else ''}",
+                parents=tuple((c, "merge") for c in entry.cz_contribs))
         result = Message(op=Op.STORE, src=switch.node_id,
                          dst=gpu_node(entry.home),
                          payload_bytes=entry.chunk_bytes,

@@ -26,6 +26,8 @@ from ..common.functional import combine_payloads
 from ..gpu.gpu import Gpu
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.network import Network
+from ..obs import current_causality
+from ..obs.causality import BARRIER_SYNC
 
 _run_ids = itertools.count(1)
 
@@ -74,6 +76,7 @@ class NvlsCollective:
         self.sim = network.sim
         self.local_values = local_values
         self._runs: Dict[int, _Run] = {}
+        self._cz = current_causality()
         # Runs aborted by fault handling: late in-flight messages for them
         # are swallowed instead of crashing the run lookup.
         self._aborted: set = set()
@@ -248,4 +251,11 @@ class NvlsCollective:
         run.remaining -= 1
         if run.remaining == 0:
             run.finish_time = self.sim.now
+            if self._cz.enabled:
+                # Completion marker: the run finishes when its last chunk
+                # lands — ambient cause is that delivery.
+                now = self.sim.now
+                self._cz.current = self._cz.node(
+                    BARRIER_SYNC, now, now, f"nvls {run.kind} complete",
+                    parents=((self._cz.current, "dep"),))
             run.on_complete()

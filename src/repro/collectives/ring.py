@@ -30,6 +30,8 @@ from ..gpu.gpu import Gpu
 from ..interconnect.message import (CORRUPTED_META, Message, Op, gpu_node,
                                     is_corrupted)
 from ..interconnect.network import Network
+from ..obs import current_causality
+from ..obs.causality import BARRIER_SYNC
 
 _run_ids = itertools.count(1)
 
@@ -71,6 +73,7 @@ class RingCollective:
         self.chunk_bytes = chunk_bytes
         self.sim = network.sim
         self._runs: Dict[int, _Run] = {}
+        self._cz = current_causality()
         # Fault-injection state (repro.faults): when present, every chunk
         # hop is tracked by the ack/retransmit protocol — the receiver acks
         # each hop by rkey, deduplicates redeliveries, and discards
@@ -249,4 +252,11 @@ class RingCollective:
         run.remaining -= 1
         if run.remaining == 0:
             run.finish_time = self.sim.now
+            if self._cz.enabled:
+                # Completion marker: the run finishes when its last chunk
+                # lands — ambient cause is that delivery.
+                now = self.sim.now
+                self._cz.current = self._cz.node(
+                    BARRIER_SYNC, now, now, f"ring {run.kind} complete",
+                    parents=((self._cz.current, "dep"),))
             run.on_complete()

@@ -24,7 +24,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
-from ..obs import current_metrics, current_profiler
+from ..obs import current_causality, current_metrics, current_profiler
+from ..obs.causality import NO_CAUSE
 from .errors import SimulationError
 
 #: Queues smaller than this are never auto-compacted — the rebuild would
@@ -39,17 +40,23 @@ class Event:
     cancels them or inspects :attr:`time`.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner",
+                 "cause")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., None], args: tuple,
-                 owner: Optional["Simulator"] = None):
+                 owner: Optional["Simulator"] = None,
+                 cause: int = NO_CAUSE):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.owner = owner
+        # Ambient causal-node id captured at schedule time (repro.obs
+        # .causality); restored before the callback fires so causality
+        # propagates through arbitrary callback cascades.
+        self.cause = cause
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -99,6 +106,7 @@ class Simulator:
         # Observability hooks, captured at construction (install first).
         self._profiler = current_profiler()
         self._metrics = current_metrics()
+        self._causality = current_causality()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,7 +187,7 @@ class Simulator:
                 f"cannot schedule event {delay} ns in the past "
                 f"(now={self._now})")
         ev = Event(self._now + delay, next(self._seq), callback, args,
-                   owner=self)
+                   owner=self, cause=self._causality.current)
         heapq.heappush(self._queue, ev)
         depth = len(self._queue)
         if depth > self._peak_queue_depth:
@@ -214,6 +222,9 @@ class Simulator:
                     f"event queue time went backwards: {ev.time} < {self._now}")
             self._now = ev.time
             self._events_processed += 1
+            causality = self._causality
+            if causality.enabled:
+                causality.current = ev.cause
             profiler = self._profiler
             if profiler is None:
                 ev.callback(*ev.args)
@@ -241,6 +252,8 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         profiler = self._profiler
+        causality = self._causality
+        cz_on = causality.enabled
         fired = 0
         try:
             while queue:
@@ -261,6 +274,8 @@ class Simulator:
                         f"{ev.time} < {self._now}")
                 self._now = ev.time
                 self._events_processed += 1
+                if cz_on:
+                    causality.current = ev.cause
                 if profiler is None:
                     ev.callback(*ev.args)
                 else:

@@ -48,7 +48,6 @@ def format_table(results: Dict[str, List[Tuple[float, float]]]) -> str:
     rows = []
     for system, series in results.items():
         stats = steady_state_stats(series)
-        spark = " ".join(f"{u:.2f}" for _, u in series)
         rows.append([system, stats["mean"], stats["min"], stats["max"]])
     table = markdown_table(
         ["config", "steady-state mean", "min", "max"], rows)

@@ -18,6 +18,8 @@ from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..common.config import FaultSpec
 from ..common.events import Event, Simulator
+from ..obs import current_causality
+from ..obs.causality import RETRANSMIT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .injector import FaultCounters
@@ -70,6 +72,7 @@ class Retransmitter:
         self.counters = counters
         self._outstanding: Dict[Rkey, _Outstanding] = {}
         self._seen: Set[Rkey] = set()
+        self._cz = current_causality()
 
     # -- sender side ---------------------------------------------------
     def track(self, key: Rkey, resend: Callable[[int], None],
@@ -125,6 +128,16 @@ class Retransmitter:
             self.counters.bump("retry_exhausted")
             return
         self.counters.bump("retries")
+        if self._cz.enabled:
+            # Attribute the timeout wait (and the resent copy's whole
+            # causal subtree) to retransmission.  The timer event carries
+            # the original send's cause as ambient; chained retries link
+            # through each other via re-arming below.
+            now = self.sim.now
+            self._cz.current = self._cz.node(
+                RETRANSMIT, now, now,
+                f"retransmit attempt {entry.attempt}",
+                parents=((self._cz.current, "retry"),))
         entry.resend(entry.attempt)
         self._arm(key, entry)
 

@@ -31,7 +31,8 @@ from ..common.config import SystemConfig
 from ..common.errors import DeadlockError
 from ..common.events import Simulator
 from ..common.rng import RngPool
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import GEMM_COMPUTE, VECTOR_COMPUTE
 from ..cais.coordination import SyncPhase
 from ..faults.retry import RKEY_META
 from ..interconnect.message import Message, Op, gpu_node
@@ -104,6 +105,7 @@ class Executor:
         # the trace stays compact and deterministic.
         self._tr = current_tracer()
         self._mx = current_metrics()
+        self._cz = current_causality()
         if self._mx.enabled:
             self._h_tb_latency = self._mx.histogram(
                 "gpu.tb_issue_to_retire_ns")
@@ -221,9 +223,19 @@ class Executor:
                              block_idx=bidx)
             deps = kernel.tb_deps(gpu.index, bidx) if kernel.tb_deps else []
             if deps:
-                self.when_all(deps, lambda tb=tb, gpu=gpu: gpu.enqueue(tb))
+                self.when_all(deps,
+                              lambda tb=tb, gpu=gpu: self._enqueue_tb(
+                                  gpu, tb))
             else:
-                gpu.enqueue(tb)
+                self._enqueue_tb(gpu, tb)
+
+    def _enqueue_tb(self, gpu: Gpu, tb: ThreadBlock) -> None:
+        # The ambient cause here is whatever made the TB ready: the kernel
+        # launch event, or — when tb_deps gated it — the signal that
+        # satisfied the last token (a producer TB's completion node).
+        if self._cz.enabled:
+            tb.cz_enq = self._cz.current
+        gpu.enqueue(tb)
 
     # ------------------------------------------------------------------
     # TB lifecycle
@@ -249,6 +261,12 @@ class Executor:
         tb.state = TBState.COMPUTE_PRE
         if self._tr.enabled:
             self._phase_begin(tb, "pre")
+        if self._cz.enabled:
+            tb.cz_pre_start = self.sim.now
+            # The event that actually started the pre phase — a pre-launch
+            # sync release, or the dispatch itself — so a TB gated by the
+            # group-sync protocol traces back through the release chain.
+            tb.cz_launch = self._cz.current
         duration = tb.kernel.tb_pre_ns * self._jitter(tb.gpu_index)
         slowdown = self.gpus[tb.gpu_index].compute_slowdown
         if slowdown != 1.0:              # straggler fault window
@@ -256,11 +274,27 @@ class Executor:
         self.total_compute_ns += duration
         self.sim.schedule(duration, self._tb_after_pre, tb)
 
+    def _compute_category(self, tb: ThreadBlock) -> str:
+        return (VECTOR_COMPUTE if tb.kernel.compute_class == "vector"
+                else GEMM_COMPUTE)
+
     def _tb_after_pre(self, tb: ThreadBlock) -> None:
         if self._tr.enabled:
             self._phase_end(tb)
         kernel = tb.kernel
         gpu = self.gpus[tb.gpu_index]
+        if self._cz.enabled:
+            # The pre-compute node: charged to the kernel's compute class,
+            # caused by readiness ("dep" edge: token/launch wait) and the
+            # slot grant ("slot" edge: ready-queue wait).  Everything the
+            # TB does next — sync requests, reductions, loads — inherits
+            # this node as its ambient cause.
+            tb.cz_last = self._cz.node(
+                self._compute_category(tb), tb.cz_pre_start, self.sim.now,
+                f"{kernel.name}{list(tb.block_idx)} pre",
+                parents=((tb.cz_enq, "dep"), (tb.cz_disp, "slot"),
+                         (tb.cz_launch, "launch")))
+            self._cz.current = tb.cz_last
         loads = (kernel.remote_loads(tb.gpu_index, tb.block_idx)
                  if kernel.remote_loads else [])
         reduces = (kernel.remote_reduces(tb.gpu_index, tb.block_idx)
@@ -286,9 +320,18 @@ class Executor:
             tb.state = TBState.SYNC_ACCESS
             gpu.synchronizer.request_sync(
                 group, SyncPhase.ACCESS, expected,
-                lambda: self._tb_remote(tb, loads, reduces))
+                lambda: self._tb_remote_synced(tb, loads, reduces))
         else:
             self._tb_remote(tb, loads, reduces)
+
+    def _tb_remote_synced(self, tb: ThreadBlock, loads: List[RemoteOp],
+                          reduces: List[RemoteOp]) -> None:
+        # Released by the pre-access barrier: if nothing later (a load
+        # fill) overwrites it, the post phase is attributed to the sync.
+        if self._cz.enabled:
+            tb.cz_release = self._cz.current
+            tb.cz_release_kind = "sync"
+        self._tb_remote(tb, loads, reduces)
 
     def _tb_remote(self, tb: ThreadBlock, loads: List[RemoteOp],
                    reduces: List[RemoteOp]) -> None:
@@ -381,12 +424,18 @@ class Executor:
     def _tb_load_ready(self, tb: ThreadBlock) -> None:
         tb.loads_outstanding -= 1
         if tb.loads_outstanding == 0:
+            if self._cz.enabled:
+                # The last load fill is what released the post phase.
+                tb.cz_release = self._cz.current
+                tb.cz_release_kind = "wire"
             self._tb_post(tb)
 
     def _tb_post(self, tb: ThreadBlock) -> None:
         if self._tr.enabled:
             self._phase_end(tb)          # remote phase (if it opened)
             self._phase_begin(tb, "post")
+        if self._cz.enabled:
+            tb.cz_post_start = self.sim.now
         tb.state = TBState.COMPUTE_POST
         duration = tb.kernel.tb_post_ns * self._jitter(tb.gpu_index)
         slowdown = self.gpus[tb.gpu_index].compute_slowdown
@@ -410,6 +459,18 @@ class Executor:
         if self._mx.enabled:
             self._h_tb_latency.record(self.sim.now - tb.dispatch_time)
             self._c_tbs.inc()
+        if self._cz.enabled:
+            # The post-compute node: sequenced after the TB's own pre
+            # phase and caused by whatever released it (last load fill,
+            # sync release, or plain sequencing).  Set as ambient *before*
+            # the slot release and completion callbacks so the next TB's
+            # dispatch, token signals, and kernel-done chains inherit it.
+            tb.cz_last = self._cz.node(
+                self._compute_category(tb), tb.cz_post_start, self.sim.now,
+                f"{tb.kernel.name}{list(tb.block_idx)} post",
+                parents=((tb.cz_last, "seq"),
+                         (tb.cz_release, tb.cz_release_kind)))
+            self._cz.current = tb.cz_last
         self.gpus[tb.gpu_index].release_slot(tb)
         kernel = tb.kernel
         if kernel.on_tb_complete is not None:

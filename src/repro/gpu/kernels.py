@@ -66,6 +66,9 @@ class KernelInstance:
     sync_preaccess: bool = False
     #: Called per (gpu, block_idx) as each TB completes.
     on_tb_complete: Optional[Callable[[int, Tuple[int, ...]], None]] = None
+    #: Attribution class for critical-path analysis: "gemm" (tensor-core
+    #: matmul work) or "vector" (element-wise/LayerNorm work).
+    compute_class: str = "gemm"
     kernel_id: int = field(default_factory=lambda: next(_kernel_ids))
 
     def __post_init__(self) -> None:

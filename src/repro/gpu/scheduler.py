@@ -16,7 +16,7 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 
-from ..obs import current_metrics
+from ..obs import current_causality, current_metrics
 
 
 def effective_capacity(capacity: int, throttle_fraction: float) -> int:
@@ -40,10 +40,20 @@ class DispatchPolicy:
         mx = current_metrics()
         self._picks = (mx.counter(f"sched.{type(self).__name__}.picks")
                        if mx.enabled else None)
+        self._cz = current_causality()
 
-    def _note_pick(self) -> None:
+    def _note_pick(self, tb: Any) -> Any:
+        """Account for one dispatch decision; returns ``tb``.
+
+        When causal recording is on, the ambient cause at pick time — the
+        event that freed the slot or made the TB ready — is stamped onto
+        the TB as its dispatch cause, so ready-queue wait is attributable.
+        """
         if self._picks is not None:
             self._picks.inc()
+        if self._cz.enabled:
+            tb.cz_disp = self._cz.current
+        return tb
 
     def pick(self, queue: List[Any]) -> Any:
         """Remove and return one TB from ``queue`` (must be non-empty)."""
@@ -54,8 +64,7 @@ class FifoPolicy(DispatchPolicy):
     """Strict submission order — what a fully deterministic scheduler does."""
 
     def pick(self, queue: List[Any]) -> Any:
-        self._note_pick()
-        return queue.pop(0)
+        return self._note_pick(queue.pop(0))
 
 
 class ShuffledPolicy(DispatchPolicy):
@@ -74,10 +83,9 @@ class ShuffledPolicy(DispatchPolicy):
         self.rng = rng
 
     def pick(self, queue: List[Any]) -> Any:
-        self._note_pick()
         bound = min(self.window, len(queue))
         index = int(self.rng.integers(0, bound)) if bound > 1 else 0
-        return queue.pop(index)
+        return self._note_pick(queue.pop(index))
 
 
 class KeyedPolicy(DispatchPolicy):
@@ -88,9 +96,8 @@ class KeyedPolicy(DispatchPolicy):
         self.key = key
 
     def pick(self, queue: List[Any]) -> Any:
-        self._note_pick()
         best = min(range(len(queue)), key=lambda i: self.key(queue[i]))
-        return queue.pop(best)
+        return self._note_pick(queue.pop(best))
 
 
 class FairSharePolicy(DispatchPolicy):
@@ -113,7 +120,6 @@ class FairSharePolicy(DispatchPolicy):
         self.rng = rng
 
     def pick(self, queue: List[Any]) -> Any:
-        self._note_pick()
         bound = min(self.window, len(queue))
         running = self.gpu.running_per_kernel
         best_i = 0
@@ -127,4 +133,4 @@ class FairSharePolicy(DispatchPolicy):
                 if running.get(queue[i].kernel.kernel_id, 0) == best_load]
         if len(ties) > 1:
             best_i = ties[int(self.rng.integers(0, len(ties)))]
-        return queue.pop(best_i)
+        return self._note_pick(queue.pop(best_i))

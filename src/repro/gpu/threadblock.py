@@ -38,6 +38,19 @@ class ThreadBlock:
     obs_lane: int = -1
     obs_span: int = -1
     obs_phase: int = -1
+    #: Causal recording state (repro.obs.causality; set only when a
+    #: recorder is installed): cause ids for becoming ready (``cz_enq``),
+    #: winning a slot (``cz_disp``), the last compute node emitted
+    #: (``cz_last``), and whatever released the post phase (``cz_release``
+    #: with its edge kind), plus the phase start times the nodes span.
+    cz_enq: int = -1
+    cz_disp: int = -1
+    cz_launch: int = -1
+    cz_last: int = -1
+    cz_release: int = -1
+    cz_release_kind: str = "seq"
+    cz_pre_start: float = -1.0
+    cz_post_start: float = -1.0
 
     @property
     def pool(self) -> str:

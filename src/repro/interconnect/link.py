@@ -23,7 +23,8 @@ from ..common.config import LinkSpec
 from ..common.errors import SimulationError
 from ..common.events import Simulator
 from ..metrics.bandwidth import BandwidthTracker
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import LINK_SERIALIZATION, NO_CAUSE
 from .message import Message, TrafficClass
 
 _RR_ORDER = (TrafficClass.CONTROL, TrafficClass.LOAD, TrafficClass.REDUCTION)
@@ -69,6 +70,13 @@ class Link:
         # live only while the message sits in a queue, so ids are stable.
         self._enqueued_at: Dict[int, float] = {}
         self._tx_span = -1
+        # Causal recording (repro.obs.causality): the cause ambient at
+        # send() is remembered per queued message; serialization becomes a
+        # node whose "queue" edge charges HOL wait, and the delivery event
+        # inherits that node so receivers see the wire as their cause.
+        self._cz = current_causality()
+        self._cz_pending: Dict[int, int] = {}
+        self._cz_tx = NO_CAUSE
 
     # ------------------------------------------------------------------
     # Sending
@@ -89,6 +97,8 @@ class Link:
                 self._tr.counter(self._track, "queue_depth", now, depth)
             if self._mx.enabled:
                 self._g_qdepth.set(self.peak_queue_depth)
+        if self._cz.enabled:
+            self._cz_pending[id(msg)] = self._cz.current
         if not self._busy:
             self._start_next()
 
@@ -196,12 +206,24 @@ class Link:
                     self._track, f"tx {msg.op.value}", now, cat="link",
                     args={"bytes": msg.wire_bytes(),
                           "queued_ns": now - enq})
+        if self._cz.enabled:
+            self._cz_tx = self._cz.node(
+                LINK_SERIALIZATION, now, now + serialization,
+                f"tx {msg.op.value} {self.name}",
+                parents=((self._cz_pending.pop(id(msg), NO_CAUSE),
+                          "queue"),))
         self.sim.schedule(serialization, self._on_serialized, msg)
 
     def _on_serialized(self, msg: Message) -> None:
         if self._tr.enabled and self._tx_span >= 0:
             self._tr.end(self._tx_span, self.sim.now)
             self._tx_span = -1
+        # Downstream events — the delivery, any retransmission timers the
+        # fault hook arms, and waiters resumed by the link freeing up — are
+        # all caused by this transmission (one message serializes at a
+        # time, so the single saved node id is the right one).
+        if self._cz.enabled:
+            self._cz.current = self._cz_tx
         # The fault hook may drop the message on the wire (True) or mark it
         # corrupted in place; either way link-level bandwidth was consumed.
         if self.fault_hook is None or not self.fault_hook(msg):

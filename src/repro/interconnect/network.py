@@ -7,6 +7,14 @@ requests converge); unaddressed traffic stripes round-robin.
 
 GPU-side endpoints are registered by the GPU model (or by test stubs) — the
 fabric only requires a ``receive(msg)`` callable per GPU.
+
+Causal recording (:mod:`repro.obs.causality`) needs no explicit threading
+here: a message injected via :meth:`Network.send_from_gpu` is enqueued on
+an up link under the sender's ambient cause, each link transmission becomes
+a ``link_serialization`` node, each switch hop a node categorized by the
+consumed op, and delivery events carry the producing node as their ambient
+cause — so the fabric propagates cause ids end to end through the ordinary
+event flow, including across plane reroutes after a fault.
 """
 
 from __future__ import annotations

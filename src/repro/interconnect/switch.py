@@ -17,9 +17,29 @@ from typing import Dict, List, Protocol
 from ..common.config import SwitchSpec
 from ..common.errors import RoutingError
 from ..common.events import Simulator
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import (BARRIER_SYNC, LINK_SERIALIZATION, SWITCH_MERGE)
 from .link import Link
-from .message import Message, NodeId
+from .message import Message, NodeId, Op
+
+#: Ops whose in-switch hop is compute (NVLS reduction/multicast or CAIS
+#: merge-table work) rather than plain forwarding — the distinction that
+#: lets critical-path attribution show merge time on TP-NVLS's path.
+_MERGE_OPS = frozenset({
+    Op.MULTIMEM_ST, Op.MULTIMEM_LD_REDUCE_REQ, Op.MULTIMEM_LD_REDUCE_GATHER,
+    Op.MULTIMEM_LD_REDUCE_RESP, Op.MULTIMEM_RED,
+    Op.RED_CAIS, Op.LD_CAIS_REQ, Op.LD_CAIS_RESP,
+})
+#: Control-plane ops: sync/credit handling is barrier machinery.
+_SYNC_OPS = frozenset({Op.SYNC_REQ, Op.SYNC_RELEASE, Op.CREDIT})
+
+
+def _hop_category(op: Op) -> str:
+    if op in _MERGE_OPS:
+        return SWITCH_MERGE
+    if op in _SYNC_OPS:
+        return BARRIER_SYNC
+    return LINK_SERIALIZATION
 
 
 class SwitchEngine(Protocol):
@@ -50,6 +70,7 @@ class Switch:
         self.ops_seen: Counter = Counter()
         self._tr = current_tracer()
         self._mx = current_metrics()
+        self._cz = current_causality()
         if self._mx.enabled:
             self._c_msgs = self._mx.counter(f"switch.{index}.messages")
         # Port tracks are created lazily — only ports that see traffic
@@ -85,6 +106,14 @@ class Switch:
                              args={"bytes": msg.payload_bytes})
         if self._mx.enabled:
             self._c_msgs.inc()
+        if self._cz.enabled:
+            # The hop latency was spent getting here; the ambient cause is
+            # the delivery that carried the message in ("wire" edge).
+            now = self.sim.now
+            self._cz.current = self._cz.node(
+                _hop_category(msg.op), now - self.spec.hop_latency_ns, now,
+                f"sw{self.index} {msg.op.value}",
+                parents=((self._cz.current, "wire"),))
         for engine in self.engines:
             if engine.process(self, msg, in_port):
                 return

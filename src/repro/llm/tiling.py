@@ -209,7 +209,8 @@ def compute_kernel(op: LogicalOp, spec: GpuSpec,
         per_tb = op.elements / blocks
         tb_ns = vector_tb_time_ns(per_tb, op.flops_per_element, spec)
         return KernelInstance(name=op.name, grid=(blocks,), tb_pre_ns=tb_ns,
-                              launch_overhead_ns=launch_overhead_ns)
+                              launch_overhead_ns=launch_overhead_ns,
+                              compute_class="vector")
     raise WorkloadError(f"cannot lower {op.kind} as a compute kernel")
 
 
@@ -318,7 +319,8 @@ def ln_kernel(op: LogicalOp, in_layout: ActivationLayout,
 
     return KernelInstance(name=op.name, grid=grid, tb_pre_ns=tb_ns,
                           tb_deps=deps, pool=pool,
-                          launch_overhead_ns=launch_overhead_ns)
+                          launch_overhead_ns=launch_overhead_ns,
+                          compute_class="vector")
 
 
 # ---------------------------------------------------------------------------
@@ -373,7 +375,8 @@ def replicated_vector_kernel(op: LogicalOp, in_layout: ActivationLayout,
     return KernelInstance(name=op.name, grid=grid, tb_pre_ns=0.0,
                           tb_post_ns=tb_ns, remote_loads=loads,
                           tb_deps=deps, compiled=compiled, pool=pool,
-                          launch_overhead_ns=launch_overhead_ns)
+                          launch_overhead_ns=launch_overhead_ns,
+                          compute_class="vector")
 
 
 def row_gated_gemm_kernel(op: LogicalOp, token_tag: str, tensor_id: int,

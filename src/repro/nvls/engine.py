@@ -28,7 +28,8 @@ from ..common.errors import ProtocolError
 from ..common.functional import combine_payloads as _combine
 from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.switch import Switch
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import SWITCH_MERGE
 
 
 @dataclass
@@ -44,6 +45,8 @@ class _PullSession:
     tag: Any = None                      # opaque requester tag, echoed back
     started_ns: float = 0.0
     obs_aid: int = -1                    # async-span id (tracing only)
+    #: Causal-node ids of the hops delivering each contribution.
+    cz_contribs: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -58,6 +61,8 @@ class _PushSession:
     on_complete_meta: Dict[str, Any] = field(default_factory=dict)
     started_ns: float = 0.0
     obs_aid: int = -1                    # async-span id (tracing only)
+    #: Causal-node ids of the hops delivering each contribution.
+    cz_contribs: List[int] = field(default_factory=list)
 
 
 class NvlsEngine:
@@ -78,6 +83,7 @@ class NvlsEngine:
         self._fault_state = fault_state
         self._tr = current_tracer()
         self._mx = current_metrics()
+        self._cz = current_causality()
         self._next_aid = 0
         self._track = -1                 # resolved on first switch contact
 
@@ -214,10 +220,19 @@ class NvlsEngine:
             raise ProtocolError(f"ld_reduce contribution for unknown {key}")
         session.received += 1
         session.acc = _combine(session.acc, msg.payload)
+        if self._cz.enabled:
+            session.cz_contribs.append(self._cz.current)
         if session.received == session.expected:
             del self._pull_sessions[key]
             self.pull_reductions += 1
             self._session_close(switch, "pull", session)
+            if self._cz.enabled:
+                now = switch.sim.now
+                self._cz.current = self._cz.node(
+                    SWITCH_MERGE, now, now,
+                    f"sw{switch.index} nvls pull join",
+                    parents=tuple((c, "merge")
+                                  for c in session.cz_contribs))
             resp = Message(op=Op.MULTIMEM_LD_REDUCE_RESP,
                            src=switch.node_id, dst=gpu_node(requester),
                            payload_bytes=session.chunk_bytes,
@@ -244,10 +259,19 @@ class NvlsEngine:
             self._session_open(switch, "push", session)
         session.received += 1
         session.acc = _combine(session.acc, msg.payload)
+        if self._cz.enabled:
+            session.cz_contribs.append(self._cz.current)
         if session.received == session.expected:
             del self._push_sessions[msg.address]
             self.push_reductions += 1
             self._session_close(switch, "push", session)
+            if self._cz.enabled:
+                now = switch.sim.now
+                self._cz.current = self._cz.node(
+                    SWITCH_MERGE, now, now,
+                    f"sw{switch.index} nvls push join",
+                    parents=tuple((c, "merge")
+                                  for c in session.cz_contribs))
             meta = dict(session.on_complete_meta)
             meta.update(reduced=True, contributions=session.received,
                         partial=False)

@@ -21,24 +21,27 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .causality import CausalityRecorder, NullCausality
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       NullMetrics)
 from .profiler import SimProfiler
 from .tracer import NullTracer, Tracer
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullMetrics",
-    "NullTracer", "SimProfiler", "Tracer",
+    "CausalityRecorder", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullCausality", "NullMetrics", "NullTracer", "SimProfiler", "Tracer",
     "current_tracer", "current_metrics", "current_profiler",
-    "install", "reset",
+    "current_causality", "install", "reset",
 ]
 
 _NULL_TRACER = NullTracer()
 _NULL_METRICS = NullMetrics()
+_NULL_CAUSALITY = NullCausality()
 
 _tracer: NullTracer = _NULL_TRACER
 _metrics: NullMetrics = _NULL_METRICS
 _profiler: Optional[SimProfiler] = None
+_causality: NullCausality = _NULL_CAUSALITY
 
 
 def current_tracer():
@@ -56,24 +59,33 @@ def current_profiler() -> Optional[SimProfiler]:
     return _profiler
 
 
-def install(tracer=None, metrics=None, profiler=None) -> None:
+def current_causality():
+    """The installed causal recorder (:class:`NullCausality` when off)."""
+    return _causality
+
+
+def install(tracer=None, metrics=None, profiler=None,
+            causality=None) -> None:
     """Install observability sinks; call *before* building a harness.
 
     Only the arguments given are replaced, so tracing can be enabled
     without metrics and vice versa.
     """
-    global _tracer, _metrics, _profiler
+    global _tracer, _metrics, _profiler, _causality
     if tracer is not None:
         _tracer = tracer
     if metrics is not None:
         _metrics = metrics
     if profiler is not None:
         _profiler = profiler
+    if causality is not None:
+        _causality = causality
 
 
 def reset() -> None:
     """Restore the null defaults (used by tests and between CLI runs)."""
-    global _tracer, _metrics, _profiler
+    global _tracer, _metrics, _profiler, _causality
     _tracer = _NULL_TRACER
     _metrics = _NULL_METRICS
     _profiler = None
+    _causality = _NULL_CAUSALITY

@@ -19,7 +19,7 @@ from .tracer import Tracer
 
 #: Phases the validator accepts (the subset the Tracer emits, plus
 #: metadata).
-_KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M"}
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M", "s", "f"}
 
 
 def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
@@ -49,6 +49,10 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
         out["tid"] = tid
         if out["ph"] in ("b", "e"):
             # Async ids are namespaced per process in the Chrome format.
+            out["id"] = f"0x{out['id']:x}"
+        elif out["ph"] in ("s", "f"):
+            # Flow ids are global; hex form keeps them distinct from the
+            # async id namespace when both appear in one trace.
             out["id"] = f"0x{out['id']:x}"
         events.append(out)
     return {"traceEvents": events, "displayTimeUnit": "ns"}
@@ -96,8 +100,8 @@ def validate_chrome_trace(obj: Any) -> List[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: 'X' event needs 'dur' >= 0")
-        if ph in ("b", "e") and "id" not in ev:
-            problems.append(f"{where}: async event needs 'id'")
+        if ph in ("b", "e", "s", "f") and "id" not in ev:
+            problems.append(f"{where}: {ph!r} event needs 'id'")
         if ph == "C" and "args" not in ev:
             problems.append(f"{where}: counter event needs 'args'")
     return problems

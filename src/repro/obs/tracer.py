@@ -62,6 +62,14 @@ class NullTracer:
                   cat: str = "", args: Optional[dict] = None) -> None:
         pass
 
+    def flow_start(self, track: int, name: str, fid: int, ts_ns: float,
+                   cat: str = "") -> None:
+        pass
+
+    def flow_end(self, track: int, name: str, fid: int, ts_ns: float,
+                 cat: str = "") -> None:
+        pass
+
     def flush(self, ts_ns: float) -> int:
         return 0
 
@@ -111,8 +119,19 @@ class Tracer:
         return handle
 
     def end(self, handle: int, ts_ns: float) -> None:
-        """Close a span opened by :meth:`begin` (emits one complete event)."""
-        track, name, cat, args, start = self._open.pop(handle)
+        """Close a span opened by :meth:`begin` (emits one complete event).
+
+        An unknown or already-closed handle is an instrumentation bug in
+        the caller; name the handle and what *is* open instead of letting
+        a bare ``KeyError`` escape with no context.
+        """
+        entry = self._open.pop(handle, None)
+        if entry is None:
+            open_names = sorted({rec[1] for rec in self._open.values()})
+            raise ValueError(
+                f"Tracer.end: handle {handle} is unknown or already "
+                f"closed; open spans: {open_names or '(none)'}")
+        track, name, cat, args, start = entry
         self._emit_complete(track, name, cat, args, start, ts_ns)
 
     def instant(self, track: int, name: str, ts_ns: float,
@@ -145,6 +164,21 @@ class Tracer:
         if args:
             ev["args"] = args
         self._events.append(ev)
+
+    def flow_start(self, track: int, name: str, fid: int, ts_ns: float,
+                   cat: str = "") -> None:
+        """Open a flow arrow (Perfetto renders it from here to the
+        matching :meth:`flow_end` with the same id)."""
+        self._events.append({"ph": "s", "name": name, "ts": ts_ns / 1e3,
+                             "track": track, "id": fid,
+                             "cat": cat or "flow"})
+
+    def flow_end(self, track: int, name: str, fid: int, ts_ns: float,
+                 cat: str = "") -> None:
+        """Terminate a flow arrow started by :meth:`flow_start`."""
+        self._events.append({"ph": "f", "name": name, "ts": ts_ns / 1e3,
+                             "track": track, "id": fid, "bp": "e",
+                             "cat": cat or "flow"})
 
     # ------------------------------------------------------------------
     # Teardown

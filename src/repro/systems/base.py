@@ -30,7 +30,10 @@ from ..llm.tiling import TilingConfig, compute_kernel
 from ..metrics.merge_stats import MergeStats
 from ..metrics.timeline import Timeline
 from ..nvls.engine import NvlsEngine
-from ..obs import current_metrics, current_tracer
+from ..obs import current_causality, current_metrics, current_tracer
+from ..obs.causality import BARRIER_SYNC
+from ..obs.critical_path import CriticalPath, annotate_tracer, \
+    extract_critical_path
 
 
 @dataclass
@@ -54,6 +57,10 @@ class RunResult:
     #: were disabled); folded into JSON exports by ``metrics/export.py``.
     metrics: Optional[object] = None
     details: Dict[str, float] = field(default_factory=dict)
+    #: Makespan attribution (repro.obs.critical_path), populated only when
+    #: a causality recorder was installed for the run; the per-category
+    #: nanoseconds also land in ``details`` under ``explain.<category>``.
+    critical_path: Optional[CriticalPath] = None
 
     def average_bandwidth_utilization(self) -> float:
         """Mean utilization across all links and both directions, over the
@@ -186,6 +193,19 @@ class Harness:
             merged = self.fault_state.counters.as_details()
             merged.update(details)
             details = merged
+        critical_path: Optional[CriticalPath] = None
+        cz = current_causality()
+        if cz.enabled and len(cz):
+            # Makespan attribution: walk the causal DAG back from the
+            # makespan-defining event; verify() guarantees the per-category
+            # nanoseconds sum exactly to the makespan.
+            critical_path = extract_critical_path(cz, makespan)
+            for category, ns in sorted(critical_path.attribution().items()):
+                details[f"explain.{category}"] = ns
+                if metrics.enabled:
+                    metrics.gauge(f"explain.{category}_ns").set(ns)
+            if tracer.enabled:
+                annotate_tracer(tracer, critical_path)
         return RunResult(system=system, makespan_ns=makespan,
                          compute_ns=self.executor.total_compute_ns,
                          tbs_completed=self.executor.tbs_completed,
@@ -195,7 +215,8 @@ class Harness:
                          gpu_utilization=gpu_util,
                          timeline=self.timeline,
                          metrics=metrics if metrics.enabled else None,
-                         details=dict(details))
+                         details=dict(details),
+                         critical_path=critical_path)
 
 
 class CommImpl(Protocol):
@@ -319,6 +340,7 @@ class BarrierRunner:
         self.launch_overhead_ns = (
             harness.config.gpu.kernel_launch_overhead_ns
             if launch_overhead_ns is None else launch_overhead_ns)
+        self._cz = current_causality()
 
     def run_graph(self, graph: Graph,
                   on_done: Optional[Callable[[], None]] = None) -> None:
@@ -326,8 +348,17 @@ class BarrierRunner:
         done: Dict[str, bool] = {op.name: False for op in graph.ops()}
         waiting: Dict[str, int] = {}
         pending = {"count": len(done)}
+        cz = self._cz
 
         def finish(name: str) -> None:
+            if cz.enabled:
+                # Op boundary: consumers launched below are caused by this
+                # completion (the kernel's last TB or the collective's
+                # last chunk, carried in as the ambient cause).
+                now = self.harness.sim.now
+                cz.current = cz.node(BARRIER_SYNC, now, now,
+                                     f"op {name} done",
+                                     parents=((cz.current, "dep"),))
             done[name] = True
             pending["count"] -= 1
             if pending["count"] == 0 and on_done is not None:

@@ -1,0 +1,134 @@
+"""Unit tests for critical-path extraction (repro.obs.critical_path)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs.causality import (BARRIER_SYNC, GEMM_COMPUTE,
+                                 LINK_SERIALIZATION, QUEUEING_WAIT,
+                                 SWITCH_MERGE, VECTOR_COMPUTE,
+                                 CausalityRecorder)
+from repro.obs.critical_path import (CriticalPath, Segment,
+                                     extract_critical_path,
+                                     format_comparison, format_report)
+
+
+def attribution_of(recorder, makespan):
+    path = extract_critical_path(recorder, makespan)
+    return path, path.attribution()
+
+
+# ---------------------------------------------------------------------------
+# Hand-built graphs
+# ---------------------------------------------------------------------------
+
+def test_chain_with_gap_and_tail():
+    cz = CausalityRecorder()
+    a = cz.node(GEMM_COMPUTE, 0.0, 10.0, "compute")
+    cz.node(LINK_SERIALIZATION, 12.0, 20.0, "tx", parents=((a, "queue"),))
+    path, att = attribution_of(cz, 25.0)
+
+    assert att[GEMM_COMPUTE] == 10.0
+    assert att[QUEUEING_WAIT] == 2.0          # the [10, 12] queue gap
+    # 8 ns of wire time plus the [20, 25] final-delivery tail.
+    assert att[LINK_SERIALIZATION] == 13.0
+    assert math.fsum(att.values()) == 25.0
+    assert [s.kind for s in path.segments] == ["node", "queue", "node",
+                                               "tail"]
+
+
+def test_diamond_follows_the_straggler_branch():
+    cz = CausalityRecorder()
+    root = cz.node(GEMM_COMPUTE, 0.0, 10.0, "root")
+    fast = cz.node(LINK_SERIALIZATION, 10.0, 14.0, "fast",
+                   parents=((root, "queue"),))
+    slow = cz.node(LINK_SERIALIZATION, 10.0, 20.0, "slow",
+                   parents=((root, "queue"),))
+    join = cz.node(SWITCH_MERGE, 20.0, 20.0, "join",
+                   parents=((fast, "merge"), (slow, "merge")))
+    path, att = attribution_of(cz, 20.0)
+
+    assert [n.id for n in path.nodes] == [root, slow, join]
+    assert att[GEMM_COMPUTE] == 10.0
+    assert att[LINK_SERIALIZATION] == 10.0    # the slow branch, not fast
+    assert att[SWITCH_MERGE] == 0.0           # zero-duration join
+    assert math.fsum(att.values()) == 20.0
+
+
+def test_overlapping_compute_and_comm_is_clamped():
+    cz = CausalityRecorder()
+    a = cz.node(GEMM_COMPUTE, 0.0, 10.0, "producer")
+    # Consumer started at 5 (overlapped with its gating parent): only the
+    # non-overlapped [10, 15] remainder may be charged.
+    cz.node(VECTOR_COMPUTE, 5.0, 15.0, "consumer", parents=((a, "dep"),))
+    path, att = attribution_of(cz, 15.0)
+
+    assert att[GEMM_COMPUTE] == 10.0
+    assert att[VECTOR_COMPUTE] == 5.0
+    assert att[BARRIER_SYNC] == 0.0           # no dep gap: they overlapped
+    assert math.fsum(att.values()) == 15.0
+    path.verify()
+
+
+def test_empty_recorder_attributes_everything_to_launch():
+    path, att = attribution_of(CausalityRecorder(), 100.0)
+    assert att[BARRIER_SYNC] == 100.0
+    assert math.fsum(att.values()) == 100.0
+    assert path.nodes == []
+
+
+def test_terminal_after_makespan_is_rejected():
+    cz = CausalityRecorder()
+    cz.node(GEMM_COMPUTE, 0.0, 50.0, "late")
+    with pytest.raises(SimulationError):
+        extract_critical_path(cz, 40.0)
+
+
+def test_verify_rejects_non_contiguous_partitions():
+    bad = CriticalPath([], [Segment(0.0, 5.0, GEMM_COMPUTE, "node", "a"),
+                            Segment(6.0, 10.0, GEMM_COMPUTE, "node", "b")],
+                       10.0)
+    with pytest.raises(SimulationError):
+        bad.verify()
+
+
+def test_attribution_sums_exactly_for_awkward_floats():
+    cz = CausalityRecorder()
+    prev, t = -1, 0.0
+    for i in range(200):
+        start, t = t, t + 0.1 * (i % 7 + 1)   # accumulating float error
+        parents = ((prev, "queue"),) if prev >= 0 else ()
+        prev = cz.node(GEMM_COMPUTE, start, t, f"n{i}", parents=parents)
+    makespan = t + 0.3
+    path = extract_critical_path(cz, makespan)   # verify() runs inside
+    assert math.fsum(path.attribution().values()) == makespan
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+def _simple_path():
+    cz = CausalityRecorder()
+    a = cz.node(GEMM_COMPUTE, 0.0, 10.0, "a")
+    cz.node(LINK_SERIALIZATION, 12.0, 20.0, "b", parents=((a, "queue"),))
+    return extract_critical_path(cz, 20.0)
+
+
+def test_format_report_is_deterministic_and_complete():
+    path = _simple_path()
+    one, two = format_report("X", path), format_report("X", path)
+    assert one == two
+    assert "## Critical path — X" in one
+    assert "| gemm_compute | 10.0 | 50.00% |" in one
+
+
+def test_format_comparison_reports_category_movement():
+    cz = CausalityRecorder()
+    cz.node(SWITCH_MERGE, 0.0, 8.0, "merge-heavy")
+    merge_heavy = extract_critical_path(cz, 10.0)
+    out = format_comparison([("base", _simple_path()),
+                             ("other", merge_heavy)])
+    assert "switch_merge moved onto critical path: 8.0 ns" in out
+    assert "| category | base | other |" in out

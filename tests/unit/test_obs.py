@@ -77,6 +77,21 @@ def test_tracer_flush_clamps_negative_duration():
     assert span["dur"] >= 0
 
 
+def test_tracer_end_rejects_unknown_handle():
+    tr = Tracer()
+    t = tr.track("p", "t")
+    tr.begin(t, "still-open", 10.0)
+    closed = tr.begin(t, "closed", 20.0)
+    tr.end(closed, 30.0)
+    with pytest.raises(ValueError) as excinfo:
+        tr.end(closed, 40.0)             # double close
+    msg = str(excinfo.value)
+    assert str(closed) in msg            # names the offending handle
+    assert "still-open" in msg           # lists what IS open
+    with pytest.raises(ValueError):
+        tr.end(999, 50.0)                # never-issued handle
+
+
 def test_null_tracer_is_inert():
     tr = NullTracer()
     assert tr.enabled is False

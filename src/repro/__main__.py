@@ -22,6 +22,7 @@ Chrome/Perfetto trace of the simulated hardware, ``--metrics`` /
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from . import obs
@@ -33,7 +34,7 @@ from .llm.tp import SUBLAYERS
 from .metrics.report import format_run_report
 from .systems import SYSTEM_CLASSES, make_system
 
-WORKLOADS = tuple(SUBLAYERS) + ("layer",)
+WORKLOADS = tuple(SUBLAYERS) + ("layer", "serving")
 
 
 def main(argv=None) -> int:
@@ -52,7 +53,8 @@ def main(argv=None) -> int:
     parser.add_argument("--model", default="LLaMA-7B",
                         choices=sorted(TABLE_I) + ["LLaMA-full"])
     parser.add_argument("--workload", default="L1", choices=WORKLOADS,
-                        help="one Fig. 12 sub-layer or a full layer")
+                        help="one Fig. 12 sub-layer, a full layer, or the "
+                             "continuous-batching serving stream")
     parser.add_argument("--training", action="store_true",
                         help="forward + backward (layer workload only)")
     parser.add_argument("--scale", type=float, default=0.125,
@@ -110,14 +112,33 @@ def main(argv=None) -> int:
                   tiling=TilingConfig(chunk_bytes=32768,
                                       red_chunk_bytes=8192))
     model = scale.apply(by_name(args.model))
-    if args.workload == "layer":
-        graphs = layer_graphs(model, args.gpus, args.system, args.training)
-    else:
-        graphs = [sublayer_for(model, args.gpus, args.system,
-                               args.workload)]
     system = make_system(args.system, config, tiling=scale.tiling)
     try:
-        result = system.run(graphs)
+        if args.workload == "serving":
+            from .experiments.fig20_serving import spec_for
+            from .experiments.runner import style_for
+            from .llm.serving import simulate_serving
+            spec = dataclasses.replace(spec_for(scale, seed=args.seed),
+                                       model=args.model)
+            serving = simulate_serving(system, spec, model=by_name(
+                args.model), style=style_for(args.system))
+            result = serving.run
+            print(f"serving: {len(serving.stats)} requests, "
+                  f"{serving.total_output_tokens} tokens in "
+                  f"{serving.iterations} iterations "
+                  f"({serving.evictions} evictions) -> "
+                  f"{serving.tokens_per_s:,.0f} tokens/s, "
+                  f"TTFT mean {serving.mean_ttft_ns() / 1e6:.2f} ms / "
+                  f"p95 {serving.ttft_quantile_ns(0.95) / 1e6:.2f} ms, "
+                  f"TPOT mean {serving.mean_tpot_ns() / 1e6:.2f} ms")
+        else:
+            if args.workload == "layer":
+                graphs = layer_graphs(model, args.gpus, args.system,
+                                      args.training)
+            else:
+                graphs = [sublayer_for(model, args.gpus, args.system,
+                                       args.workload)]
+            result = system.run(graphs)
         print(format_run_report(result, gantt=not args.no_gantt))
         if tracer is not None:
             from .obs.perfetto import write_chrome_trace

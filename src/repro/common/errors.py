@@ -31,5 +31,11 @@ class DeadlockError(SimulationError):
     """The event queue drained while entities still had outstanding work."""
 
 
-class WorkloadError(ReproError):
-    """An operator graph or tiling request is malformed."""
+class WorkloadError(ReproError, ValueError):
+    """An operator graph or tiling request is malformed.
+
+    Also a :class:`ValueError`: a malformed workload is almost always a bad
+    argument (a model that does not divide across the TP group, a negative
+    tile size), and callers outside the library naturally guard those with
+    ``except ValueError``.
+    """

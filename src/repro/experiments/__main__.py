@@ -39,6 +39,7 @@ from . import (
     fig17_scalability,
     fig18_nvls_validation,
     fig19_resilience,
+    fig20_serving,
     table2_scaling_validation,
 )
 from .. import obs
@@ -99,6 +100,10 @@ def _fig19(scale: Scale, ctx: ExecContext) -> str:
         fig19_resilience.run(scale, fault_seed=seed, ctx=ctx))
 
 
+def _fig20(scale: Scale, ctx: ExecContext) -> str:
+    return fig20_serving.format_table(fig20_serving.run(scale, ctx=ctx))
+
+
 def _sensitivity(scale: Scale, ctx: ExecContext) -> str:
     return sensitivity.format_tables(
         sensitivity.bandwidth_sweep(scale, ctx=ctx),
@@ -126,6 +131,7 @@ EXPERIMENTS = {
     "fig17": _fig17,
     "fig18": _fig18,
     "fig19": _fig19,
+    "fig20_serving": _fig20,
     "sensitivity": _sensitivity,
     "table2": _table2,
     "hw": _hw,

@@ -36,7 +36,7 @@ from typing import Any, Dict, Optional
 #: Bump on any change to the RunSummary schema *or* to the simulation
 #: model's observable behaviour — on-disk entries from older schemas are
 #: simply never looked up again.
-CACHE_SCHEMA = "v2"
+CACHE_SCHEMA = "v3"   # v3: serving-workload specs joined the task payload
 
 
 def canonical(value: Any) -> Any:

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..common.config import FaultSpec, SystemConfig
 from ..common.errors import WorkloadError
 from ..llm.graph import Graph
+from ..llm.serving import ServingSpec
 from ..obs import current_metrics
 from .cache import CACHE_SCHEMA, SimCache, fingerprint
 
@@ -81,6 +82,10 @@ class SimTask:
     kwargs: Tuple[Tuple[str, object], ...] = ()
     utilization_windows: Optional[int] = None
     ablation: Optional[AblationSpec] = None
+    #: When set, the worker runs the request-level serving workload
+    #: (``graphs`` stays empty — the driver builds one graph per
+    #: continuous-batching iteration from the spec).
+    serving: Optional[ServingSpec] = None
 
     def payload(self) -> Dict[str, object]:
         """Canonical fingerprint payload: everything that can change the
@@ -93,6 +98,7 @@ class SimTask:
             "config": self.config,
             "scale": self.scale,
             "ablation": self.ablation,
+            "serving": self.serving,
         }
 
     def fingerprint(self) -> str:
@@ -260,7 +266,9 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
     both modes share one code path per task.
     """
     start = time.perf_counter()
-    if task.ablation is not None:
+    if task.serving is not None:
+        result = _run_serving(task)
+    elif task.ablation is not None:
         result = _run_ablation(task)
     else:
         from .runner import run_system
@@ -269,6 +277,23 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
     summary = RunSummary.from_result(result,
                                      windows=task.utilization_windows)
     return summary, (time.perf_counter() - start) * 1e3
+
+
+def _run_serving(task: SimTask):
+    """One request-level serving run (the fig20 workload).
+
+    The system instance is built exactly like :func:`runner.run_system`
+    builds it; the serving driver then owns the graph sequence, so the
+    task ships no graphs — the spec *is* the workload."""
+    from ..llm.serving import simulate_serving
+    from ..systems import make_system
+    from .runner import style_for
+    instance = make_system(task.system, task.config,
+                           tiling=task.scale.tiling,
+                           chunk_bytes=task.scale.coll_chunk_bytes,
+                           **dict(task.kwargs))
+    return simulate_serving(instance, task.serving,
+                            style=style_for(task.system)).run
 
 
 def _run_ablation(task: SimTask):

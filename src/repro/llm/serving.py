@@ -1,0 +1,582 @@
+"""Inference-serving workload: prefill/decode under continuous batching.
+
+The paper evaluates single-graph training/inference steps; this module
+adds the *request-level* serving dimension on top of the same per-layer
+graphs so the systems can be compared on serving metrics (TTFT, TPOT,
+tokens/s) rather than lone-graph makespan:
+
+* :func:`generate_requests` — a seeded Poisson arrival process with
+  per-request prompt/output lengths.  Arrivals are *thinned* from a fixed
+  maximum rate: candidates are generated at ``max_arrival_rate_rps`` and
+  each is accepted with probability ``rate / max_rate`` from its own RNG
+  stream, so raising the rate yields a strict superset of requests at
+  identical arrival times — the structural property behind the
+  "higher arrival rate never decreases makespan" invariant test.
+* :class:`ContinuousBatcher` — Orca-style combined iterations: every
+  scheduled request contributes either its (re-)prefill chunk or one
+  decode token to each iteration and emits exactly one token per
+  participation, under a KV-cache byte budget with LIFO eviction that
+  never touches the oldest running request (guaranteeing progress).
+* :func:`serving_iteration_graph` — one iteration's operator graph,
+  mirroring the :mod:`repro.llm.tp` layer builders (same op names,
+  shapes, and collective placement) with the token dimension replaced by
+  the batch's padded token count and attention split per participant so
+  each request pays for its own KV-cache span.
+* :func:`simulate_serving` — the event-driven driver: it runs each
+  iteration's graph through a :class:`~repro.systems.systems.Session`,
+  re-plans the batch at every iteration boundary at *simulation* time,
+  and reports per-request stats plus system throughput.
+
+Fidelity envelope: one representative layer per iteration (like the rest
+of the repo's per-layer methodology), no speculative decoding, no
+chunked-prefill splitting, and KV reads are priced through the attention
+GEMM's K dimension rather than a separate HBM channel — see DESIGN.md
+section 9 for the comparison against trace-driven serving simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import SimulationError, WorkloadError
+from ..common.rng import RngPool
+from ..obs import current_metrics, current_tracer
+from .graph import CommKind, Graph
+from .models import ModelConfig
+from .tiling import ceil_div
+from .tp import _comm, _gemm, _vector, validate_tp_partition
+
+
+def kv_bytes_per_token(model: ModelConfig) -> int:
+    """KV-cache bytes one token occupies across all layers (K and V)."""
+    return 2 * model.hidden * model.dtype_bytes * model.layers
+
+
+# ---------------------------------------------------------------------------
+# Workload specification and request generation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """One serving workload, fully described by value.
+
+    Frozen and built from primitives only, so it enters the experiment
+    cache fingerprint verbatim (see ``SimTask.payload``).  ``model`` is a
+    Table-I name; callers with ad-hoc models pass a
+    :class:`~repro.llm.models.ModelConfig` to :func:`simulate_serving`
+    directly and the name is ignored.
+    """
+
+    model: str = "Mega-GPT-4B"
+    seed: int = 2026
+    #: Mean request arrival rate (requests per second of simulated time).
+    arrival_rate_rps: float = 40000.0
+    #: Thinning base rate; candidates are drawn at this rate and accepted
+    #: with probability ``arrival_rate_rps / max_arrival_rate_rps``.
+    #: ``None`` means "equal to the arrival rate" (no thinning).
+    max_arrival_rate_rps: Optional[float] = None
+    #: Arrival window in simulated milliseconds.  Requests only *arrive*
+    #: inside the window; the run ends when the last one finishes.
+    horizon_ms: float = 1.0
+    prompt_min: int = 64
+    prompt_max: int = 256
+    output_min: int = 2
+    output_max: int = 8
+    #: KV-cache byte budget across all running requests; ``None`` derives
+    #: a batch-limited default (every slot holding a worst-case request).
+    kv_budget_bytes: Optional[int] = None
+    max_batch_requests: int = 8
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_rps <= 0:
+            raise WorkloadError(
+                f"arrival_rate_rps must be positive, "
+                f"got {self.arrival_rate_rps}")
+        if self.max_arrival_rate_rps is not None and \
+                self.max_arrival_rate_rps < self.arrival_rate_rps:
+            raise WorkloadError(
+                f"max_arrival_rate_rps={self.max_arrival_rate_rps} must be "
+                f">= arrival_rate_rps={self.arrival_rate_rps}")
+        if self.horizon_ms <= 0:
+            raise WorkloadError(f"horizon_ms must be positive, "
+                                f"got {self.horizon_ms}")
+        for lo, hi, what in ((self.prompt_min, self.prompt_max, "prompt"),
+                             (self.output_min, self.output_max, "output")):
+            if not 1 <= lo <= hi:
+                raise WorkloadError(
+                    f"need 1 <= {what}_min <= {what}_max, got [{lo}, {hi}]")
+        if self.max_batch_requests < 1:
+            raise WorkloadError(f"max_batch_requests must be >= 1, "
+                                f"got {self.max_batch_requests}")
+        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
+            raise WorkloadError(f"kv_budget_bytes must be positive, "
+                                f"got {self.kv_budget_bytes}")
+
+    @property
+    def effective_max_rate(self) -> float:
+        return self.max_arrival_rate_rps or self.arrival_rate_rps
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of the arrival process."""
+
+    rid: int                 # candidate index — stable across arrival rates
+    arrival_ns: float
+    prompt_len: int
+    output_len: int
+
+
+@dataclass
+class RequestStats:
+    """Per-request serving outcome."""
+
+    rid: int
+    arrival_ns: float
+    prompt_len: int
+    output_len: int
+    first_token_ns: Optional[float] = None
+    finish_ns: Optional[float] = None
+    evictions: int = 0
+
+    @property
+    def ttft_ns(self) -> float:
+        """Time to first token: end of the prefill iteration - arrival."""
+        return self.first_token_ns - self.arrival_ns
+
+    @property
+    def e2e_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def tpot_ns(self) -> float:
+        """Mean time per output token after the first (0 for 1-token)."""
+        if self.output_len <= 1:
+            return 0.0
+        return (self.e2e_ns - self.ttft_ns) / (self.output_len - 1)
+
+
+def generate_requests(spec: ServingSpec) -> List[Request]:
+    """Sample the seeded arrival process described by ``spec``.
+
+    Candidate arrivals are a Poisson process at ``effective_max_rate``
+    from the ``serving.arrivals`` stream; acceptance and the length draws
+    come from a per-candidate ``serving.request.<i>`` stream, so the
+    accepted set at a lower rate is a subset of the set at any higher
+    rate (same ``max_arrival_rate_rps``) with identical arrival times and
+    lengths.  Candidate 0 is always accepted — a serving run needs at
+    least one request — even when its arrival falls past the horizon.
+    """
+    pool = RngPool(spec.seed)
+    gaps = pool.stream("serving.arrivals")
+    mean_gap_ns = 1e9 / spec.effective_max_rate
+    horizon_ns = spec.horizon_ms * 1e6
+    requests: List[Request] = []
+    t = 0.0
+    i = 0
+    while True:
+        t += float(gaps.exponential(mean_gap_ns))
+        if i > 0 and t > horizon_ns:
+            break
+        stream = pool.stream(f"serving.request.{i}")
+        u = float(stream.uniform())
+        if i == 0 or u * spec.effective_max_rate <= spec.arrival_rate_rps:
+            requests.append(Request(
+                rid=i, arrival_ns=t,
+                prompt_len=int(stream.integers(spec.prompt_min,
+                                               spec.prompt_max + 1)),
+                output_len=int(stream.integers(spec.output_min,
+                                               spec.output_max + 1))))
+        i += 1
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Continuous batching
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Active:
+    """Scheduler-side request state."""
+
+    stats: RequestStats
+    emitted: int = 0
+    #: Tokens the next participation must (re-)process through the prefill
+    #: path: the prompt on first admission, prompt + emitted after an
+    #: eviction rebuilt from scratch.  0 once the KV cache is warm.
+    prefill_pending: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.emitted >= self.stats.output_len
+
+    def kv_tokens_after_iteration(self) -> int:
+        """KV tokens held once this request participates in one more
+        iteration (context written so far plus the token it emits)."""
+        return self.stats.prompt_len + self.emitted + 1
+
+
+#: One iteration participant: (request state, tokens processed this
+#: iteration, KV span its attention reads).
+Participant = Tuple[_Active, int, int]
+
+
+class ContinuousBatcher:
+    """Iteration-level scheduler: admit, evict, plan, commit.
+
+    Admission is head-of-line in arrival order (a request that does not
+    fit blocks later ones — keeps the schedule a pure function of the
+    arrived set).  Eviction is LIFO among the running requests and never
+    evicts the oldest, so the head request always runs to completion and
+    frees its KV bytes: combined with the single-request feasibility
+    check in ``__init__`` this rules out eviction livelock.
+    """
+
+    def __init__(self, spec: ServingSpec, model: ModelConfig,
+                 requests: Sequence[Request]):
+        self.spec = spec
+        self.kvpt = kv_bytes_per_token(model)
+        worst = (spec.prompt_max + spec.output_max) * self.kvpt
+        self.budget = (spec.kv_budget_bytes if spec.kv_budget_bytes
+                       is not None else spec.max_batch_requests * worst)
+        need = max((r.prompt_len + r.output_len) * self.kvpt
+                   for r in requests)
+        if need > self.budget:
+            raise WorkloadError(
+                f"kv_budget_bytes={self.budget} cannot hold one "
+                f"worst-case request ({need} bytes = "
+                f"(prompt+output) tokens x {self.kvpt} B/token); "
+                f"no schedule can finish it")
+        #: Not-yet-arrived, in arrival order.
+        self.future: List[_Active] = [
+            _Active(stats=RequestStats(rid=r.rid, arrival_ns=r.arrival_ns,
+                                       prompt_len=r.prompt_len,
+                                       output_len=r.output_len),
+                    prefill_pending=r.prompt_len)
+            for r in sorted(requests, key=lambda r: (r.arrival_ns, r.rid))]
+        self.waiting: List[_Active] = []
+        self.running: List[_Active] = []
+        self.finished: List[_Active] = []
+        self.evictions = 0
+        self.peak_kv_bytes = 0
+
+    # -- queue maintenance ---------------------------------------------
+    def release_arrivals(self, now_ns: float) -> None:
+        """Move arrived requests into the waiting queue (1e-3 ns slack
+        absorbs the float round-trip of ``schedule_at``)."""
+        while self.future and \
+                self.future[0].stats.arrival_ns <= now_ns + 1e-3:
+            self.waiting.append(self.future.pop(0))
+
+    def next_arrival_ns(self) -> Optional[float]:
+        return self.future[0].stats.arrival_ns if self.future else None
+
+    def all_done(self) -> bool:
+        return not (self.future or self.waiting or self.running)
+
+    # -- planning -------------------------------------------------------
+    def _kv_after(self, group: Sequence[_Active]) -> int:
+        return sum(a.kv_tokens_after_iteration() for a in group) * self.kvpt
+
+    def plan_iteration(self, now_ns: float) -> List[Participant]:
+        """Admit/evict for one iteration; return its participants."""
+        self.release_arrivals(now_ns)
+        while (self.waiting
+               and len(self.running) < self.spec.max_batch_requests
+               and self._kv_after(self.running + self.waiting[:1])
+               <= self.budget):
+            self.running.append(self.waiting.pop(0))
+        while self._kv_after(self.running) > self.budget \
+                and len(self.running) > 1:
+            victim = self.running.pop()
+            victim.stats.evictions += 1
+            victim.prefill_pending = (victim.stats.prompt_len
+                                      + victim.emitted)
+            self.evictions += 1
+            self.waiting.insert(0, victim)
+        kv_now = self._kv_after(self.running)
+        if kv_now > self.peak_kv_bytes:
+            self.peak_kv_bytes = kv_now
+        plan: List[Participant] = []
+        for active in self.running:
+            if active.prefill_pending:
+                tokens = active.prefill_pending
+                span = tokens
+            else:
+                tokens = 1
+                span = active.stats.prompt_len + active.emitted + 1
+            plan.append((active, tokens, span))
+        return plan
+
+    # -- commit ---------------------------------------------------------
+    def commit(self, plan: Sequence[Participant],
+               end_ns: float) -> List[_Active]:
+        """Account one finished iteration; returns requests that just
+        completed (every participant emitted exactly one token)."""
+        done_now: List[_Active] = []
+        for active, _tokens, _span in plan:
+            active.prefill_pending = 0
+            active.emitted += 1
+            if active.emitted > active.stats.output_len:
+                raise SimulationError(
+                    f"request {active.stats.rid} emitted "
+                    f"{active.emitted} > output_len="
+                    f"{active.stats.output_len} tokens")
+            if active.stats.first_token_ns is None:
+                active.stats.first_token_ns = end_ns
+            if active.done:
+                active.stats.finish_ns = end_ns
+                done_now.append(active)
+        for active in done_now:
+            self.running.remove(active)
+            self.finished.append(active)
+        return done_now
+
+
+# ---------------------------------------------------------------------------
+# Iteration graphs
+# ---------------------------------------------------------------------------
+
+def serving_iteration_graph(model: ModelConfig, tp: int,
+                            participants: Sequence[Tuple[int, int]],
+                            tile: int, style: str = "sp",
+                            name: str = "serve") -> Graph:
+    """One combined prefill/decode iteration as a layer graph.
+
+    ``participants`` is a list of ``(tokens, kv_span)`` pairs — prefill
+    entries carry their chunk length, decode entries one token; the span
+    is the KV context the request's attention reads.  The projection/FFN
+    path runs over the *padded* batch token count ``M`` (rounded up to a
+    multiple of ``tile * tp`` so every system — in particular the CAIS
+    activation layout, which needs at least ``tp`` row blocks — sees the
+    same workload), while attention is built per participant so each
+    request pays exactly for its own growing KV cache.  Op names, GEMM
+    shapes, and collective placement mirror
+    :func:`repro.llm.tp.sp_forward_layer` /
+    :func:`repro.llm.tp.basic_forward_layer`.
+    """
+    if not participants:
+        raise WorkloadError("iteration with no participants")
+    if style not in ("sp", "basic"):
+        raise WorkloadError(f"unknown TP style {style!r}")
+    for tokens, span in participants:
+        if tokens < 1 or span < 1:
+            raise WorkloadError(
+                f"participant needs tokens >= 1 and kv_span >= 1, "
+                f"got ({tokens}, {span})")
+    h, f = model.hidden, model.ffn_hidden
+    if h % tp or f % tp or model.heads % tp:
+        # Same contract as the tp.py builders (tokens are padded here, so
+        # only the width dimensions need checking).
+        validate_tp_partition(model, tp)
+    heads_tp = model.heads // tp
+    block = tile * tp
+    m = ceil_div(sum(t for t, _ in participants), block) * block
+    act = m * h * model.dtype_bytes
+    sp = style == "sp"
+    ln_elems = m * h // tp if sp else m * h
+    g = Graph(name)
+    g.add(_vector("ln1", ln_elems, ()))
+    qkv_dep = "ln1"
+    if sp:
+        g.add(_comm("ag1", CommKind.ALL_GATHER, act, ("ln1",)))
+        qkv_dep = "ag1"
+    g.add(_gemm("qkv", m, 3 * h // tp, h, (qkv_dep,)))
+    ctx_names = []
+    for j, (tokens, span) in enumerate(participants):
+        g.add(_gemm(f"attn_score.{j}", tokens, span, h // tp, ("qkv",)))
+        g.add(_vector(f"softmax.{j}", tokens * heads_tp * span,
+                      (f"attn_score.{j}",)))
+        g.add(_gemm(f"attn_ctx.{j}", tokens, h // tp, span,
+                    (f"softmax.{j}",)))
+        ctx_names.append(f"attn_ctx.{j}")
+    g.add(_gemm("proj", m, h, h // tp, tuple(ctx_names), sublayer="L1"))
+    if sp:
+        g.add(_comm("rs1", CommKind.REDUCE_SCATTER, act, ("proj",),
+                    sublayer="L1"))
+    else:
+        g.add(_comm("ar1", CommKind.ALL_REDUCE, act, ("proj",),
+                    sublayer="L1"))
+    first_coll = "rs1" if sp else "ar1"
+    g.add(_vector("dropadd1", ln_elems, (first_coll,), sublayer="L1"))
+    g.add(_vector("ln2", ln_elems, ("dropadd1",), sublayer="L1"))
+    ffn1_dep = "ln2"
+    if sp:
+        g.add(_comm("ag2", CommKind.ALL_GATHER, act, ("ln2",),
+                    sublayer="L1"))
+        ffn1_dep = "ag2"
+    g.add(_gemm("ffn1", m, f // tp, h, (ffn1_dep,), sublayer="L1"))
+    g.add(_vector("gelu", m * f // tp, ("ffn1",)))
+    g.add(_gemm("ffn2", m, h, f // tp, ("gelu",), sublayer="L2"))
+    if sp:
+        g.add(_comm("rs2", CommKind.REDUCE_SCATTER, act, ("ffn2",),
+                    sublayer="L2"))
+    else:
+        g.add(_comm("ar2", CommKind.ALL_REDUCE, act, ("ffn2",),
+                    sublayer="L2"))
+    g.add(_vector("dropadd2", ln_elems, ("rs2" if sp else "ar2",),
+                  sublayer="L2"))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving simulation on one system."""
+
+    run: object                      # systems.base.RunResult
+    spec: ServingSpec
+    stats: List[RequestStats] = field(default_factory=list)
+    iterations: int = 0
+    evictions: int = 0
+    peak_kv_bytes: int = 0
+
+    @property
+    def makespan_ns(self) -> float:
+        return self.run.makespan_ns
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(s.output_len for s in self.stats)
+
+    @property
+    def tokens_per_s(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_ns * 1e9
+
+    def ttft_quantile_ns(self, q: float) -> float:
+        return _exact_quantile([s.ttft_ns for s in self.stats], q)
+
+    def mean_ttft_ns(self) -> float:
+        return sum(s.ttft_ns for s in self.stats) / len(self.stats)
+
+    def mean_tpot_ns(self) -> float:
+        multi = [s.tpot_ns for s in self.stats if s.output_len > 1]
+        return sum(multi) / len(multi) if multi else 0.0
+
+    def mean_e2e_ns(self) -> float:
+        return sum(s.e2e_ns for s in self.stats) / len(self.stats)
+
+
+def _exact_quantile(values: List[float], q: float) -> float:
+    """Nearest-rank quantile over the exact sample (no bucketing)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+def simulate_serving(system, spec: ServingSpec,
+                     model: Optional[ModelConfig] = None,
+                     style: str = "sp") -> ServingResult:
+    """Serve ``spec``'s request stream on ``system`` to completion.
+
+    ``model`` defaults to the Table-I model named by ``spec.model``;
+    ``style`` picks the TP lowering the system executes (callers use
+    :func:`repro.experiments.runner.style_for`).  The driver replans the
+    batch at every iteration boundary *inside* the simulation: arrivals
+    are simulator events, so admission order depends on simulated time,
+    and two systems see identical request streams but batch them
+    differently — exactly the continuous-batching dynamics the serving
+    metrics measure.
+    """
+    if model is None:
+        from .models import by_name
+        model = by_name(spec.model)
+    tp = system.config.num_gpus
+    validate_tp_partition(model, tp)
+    requests = generate_requests(spec)
+    batcher = ContinuousBatcher(spec, model, requests)
+    session = system.session()
+    sim = session.harness.sim
+    tracer = current_tracer()
+    metrics = current_metrics()
+    tile = system.tiling.tile
+    state = {"iterations": 0}
+    max_iterations = sum(r.output_len for r in requests) + 16
+
+    def record_finish(active: _Active, track_args: dict) -> None:
+        s = active.stats
+        if tracer.enabled:
+            track = tracer.track("serving", f"req{s.rid:04d}")
+            handle = tracer.begin(track, "request", s.arrival_ns,
+                                  cat="serving", args=track_args)
+            tracer.instant(track, "first_token", s.first_token_ns,
+                           cat="serving")
+            tracer.end(handle, s.finish_ns)
+        if metrics.enabled:
+            metrics.counter("serving.requests_completed").inc()
+            metrics.counter("serving.tokens_emitted").inc(s.output_len)
+            metrics.histogram("serving.ttft_ns").record(s.ttft_ns)
+            metrics.histogram("serving.e2e_ns").record(s.e2e_ns)
+            if s.output_len > 1:
+                metrics.histogram("serving.tpot_ns").record(s.tpot_ns)
+
+    def step() -> None:
+        now = sim.now
+        plan = batcher.plan_iteration(now)
+        if not plan:
+            nxt = batcher.next_arrival_ns()
+            if nxt is None:
+                return                       # all requests finished
+            sim.schedule(max(nxt - now, 0.0), step)
+            return
+        state["iterations"] += 1
+        if state["iterations"] > max_iterations:
+            raise SimulationError(
+                f"{system.name}: serving exceeded {max_iterations} "
+                f"iterations for {len(requests)} requests — "
+                f"scheduler is not making progress")
+        if metrics.enabled:
+            metrics.gauge("serving.kv_bytes").set(batcher.peak_kv_bytes)
+            metrics.counter("serving.iterations").inc()
+        graph = serving_iteration_graph(
+            model, tp, [(tokens, span) for _, tokens, span in plan],
+            tile=tile, style=style,
+            name=f"serve-it{state['iterations']:04d}")
+
+        def iteration_done() -> None:
+            for active in batcher.commit(plan, sim.now):
+                record_finish(active, {"prompt": active.stats.prompt_len,
+                                       "output": active.stats.output_len,
+                                       "evictions":
+                                           active.stats.evictions})
+            step()
+
+        session.runner.run_graph(graph, on_done=iteration_done)
+
+    sim.schedule(0.0, step)
+    sim.run()
+    if not batcher.all_done():
+        raise SimulationError(
+            f"{system.name}: serving run drained with "
+            f"{len(batcher.running)} running / {len(batcher.waiting)} "
+            f"waiting / {len(batcher.future)} future requests")
+    stats = sorted((a.stats for a in batcher.finished),
+                   key=lambda s: s.rid)
+    partial = ServingResult(run=None, spec=spec, stats=stats,
+                            iterations=state["iterations"],
+                            evictions=batcher.evictions,
+                            peak_kv_bytes=batcher.peak_kv_bytes)
+    run = session.finish(
+        **{"serving.requests": float(len(stats)),
+           "serving.tokens": float(partial.total_output_tokens),
+           "serving.iterations": float(partial.iterations),
+           "serving.evictions": float(partial.evictions),
+           "serving.kv_peak_bytes": float(partial.peak_kv_bytes),
+           "serving.tokens_per_s":
+               (partial.total_output_tokens / sim.now * 1e9
+                if sim.now > 0 else 0.0),
+           "serving.ttft_mean_ns": partial.mean_ttft_ns(),
+           "serving.ttft_p95_ns": partial.ttft_quantile_ns(0.95),
+           "serving.tpot_mean_ns": partial.mean_tpot_ns(),
+           "serving.e2e_mean_ns": partial.mean_e2e_ns()})
+    partial.run = run
+    return partial

@@ -24,16 +24,32 @@ from .graph import CommKind, GemmShape, Graph, LogicalOp, OpKind
 from .models import ModelConfig
 
 
-def _check_divisible(model: ModelConfig, tp: int) -> None:
+def validate_tp_partition(model: ModelConfig, tp: int) -> None:
+    """Check that ``model`` partitions exactly across a ``tp``-way group.
+
+    Raises :class:`WorkloadError` (a :class:`ValueError`) naming the model
+    and the TP degree.  Attention heads get a dedicated message: a head
+    count that does not divide would otherwise silently mis-shape the
+    per-GPU attention tiles (``heads // tp`` truncates), which corrupts the
+    softmax element counts rather than failing loudly.
+    """
     if tp < 2:
         raise WorkloadError(f"tensor parallelism needs tp >= 2, got {tp}")
+    if model.heads % tp:
+        raise WorkloadError(
+            f"{model.name}: cannot partition {model.heads} attention heads "
+            f"across tp={tp} GPUs (heads % tp == {model.heads % tp}); "
+            f"pick a TP degree that divides the head count")
     for dim_name, dim in (("hidden", model.hidden),
                           ("ffn_hidden", model.ffn_hidden),
-                          ("heads", model.heads),
                           ("tokens", model.tokens)):
         if dim % tp:
             raise WorkloadError(
                 f"{model.name}: {dim_name}={dim} not divisible by tp={tp}")
+
+
+#: Backwards-compatible alias (the builders below predate the public name).
+_check_divisible = validate_tp_partition
 
 
 def _vector(name: str, elements: int, deps: Tuple[str, ...],

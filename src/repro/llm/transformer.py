@@ -94,6 +94,68 @@ def sp_memory_saving(model: ModelConfig, tp: int) -> float:
     return 1.0 - sp / basic
 
 
+#: Default arithmetic intensity of the graph builders' vector ops
+#: (:attr:`repro.llm.graph.LogicalOp.flops_per_element`).
+VECTOR_FLOPS_PER_ELEMENT = 8.0
+
+
+def analytic_gemm_flops(model: ModelConfig, tp: int,
+                        phase: str = "fwd") -> float:
+    """Closed-form per-GPU GEMM work of one layer (style-independent).
+
+    Both TP styles run the same six forward GEMMs (QKV, score, context,
+    projection, FFN1, FFN2) and the same twelve backward dgrad/wgrad GEMMs;
+    only the communication pattern around them differs.  These formulas are
+    derived independently of the graph builders so the metamorphic tests
+    can cross-check one against the other.
+    """
+    m, h, f, s = model.tokens, model.hidden, model.ffn_hidden, model.seq_len
+    if phase == "fwd":
+        # 2m(3h/tp)h + 2ms(h/tp) + 2m(h/tp)s + 2mh(h/tp) + 2m(f/tp)h
+        # + 2mh(f/tp)
+        return (2.0 * m / tp) * (4 * h * h + 2 * s * h + 2 * h * f)
+    if phase == "bwd":
+        # dgrad+wgrad pairs: FFN2, FFN1, projection, two attention products,
+        # QKV — each pair costs twice its forward GEMM.
+        return (4.0 * m / tp) * (4 * h * h + 2 * s * h + 2 * h * f)
+    raise WorkloadError(f"unknown phase {phase!r}; expected 'fwd' or 'bwd'")
+
+
+def analytic_vector_elements(model: ModelConfig, tp: int,
+                             style: str = "sp", phase: str = "fwd") -> float:
+    """Closed-form per-GPU vector-op element count of one layer.
+
+    Under TP+SP the LayerNorm/dropout tensors are sequence-sharded to
+    ``1/tp``; under Basic TP they are replicated in full.  The softmax and
+    GeLU intermediates are head-/column-sharded in both styles.
+    """
+    m, h, f = model.tokens, model.hidden, model.ffn_hidden
+    softmax = model.batch * (model.heads // tp) * model.seq_len ** 2
+    if style not in ("sp", "basic"):
+        raise WorkloadError(f"unknown TP style {style!r}")
+    ln_scale = tp if style == "sp" else 1
+    if phase == "fwd":
+        # ln1 + dropadd1 + ln2 + dropadd2, softmax, gelu.
+        return 4 * m * h / ln_scale + softmax + m * f / tp
+    if phase == "bwd":
+        # dropadd2_bwd + ln2_bwd + ln1_bwd, softmax_bwd, gelu_bwd.
+        return 3 * m * h / ln_scale + softmax + m * f / tp
+    raise WorkloadError(f"unknown phase {phase!r}; expected 'fwd' or 'bwd'")
+
+
+def analytic_layer_flops(model: ModelConfig, tp: int, style: str = "sp",
+                         phase: str = "fwd") -> float:
+    """Closed-form per-GPU arithmetic work of one layer graph.
+
+    Must equal ``graph.total_flops()`` of the corresponding
+    :mod:`repro.llm.tp` builder exactly — the property suite holds the two
+    derivations against each other.
+    """
+    return (analytic_gemm_flops(model, tp, phase) +
+            VECTOR_FLOPS_PER_ELEMENT *
+            analytic_vector_elements(model, tp, style, phase))
+
+
 def communication_summary(model: ModelConfig, tp: int) -> dict:
     """Per-layer traffic/compute overview for both TP styles."""
     out = {}

@@ -79,6 +79,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Log2-bucket resolution (within 2x of the true value), which is
+        enough for the p95-tail reporting the serving experiments do; the
+        exact extremes are available as ``min``/``max``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for k in sorted(self._buckets):
+            seen += self._buckets[k]
+            if seen >= rank:
+                return min(float(2 ** k), self.max)
+        return self.max
+
     def buckets(self) -> Dict[str, int]:
         """``{"le_2^k": count}`` with keys in ascending bucket order."""
         return {f"le_2^{k}": self._buckets[k]
@@ -111,6 +130,9 @@ class _NullInstrument:
 
     def record(self, v: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_INSTRUMENT = _NullInstrument()

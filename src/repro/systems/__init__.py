@@ -22,6 +22,7 @@ from .systems import (
     FuseLib,
     FuseLibNvls,
     Ladm,
+    Session,
     SpNvls,
     System,
     T3,
@@ -51,6 +52,7 @@ __all__ = [
     "RingComm",
     "RunResult",
     "SYSTEM_CLASSES",
+    "Session",
     "SpNvls",
     "System",
     "T3",

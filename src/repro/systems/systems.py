@@ -54,6 +54,26 @@ COCONET_COMPUTE_FRACTION = 0.875
 FUSELIB_COMPUTE_FRACTION = 0.94
 
 
+class Session:
+    """A live simulated node: harness plus the system's graph runner.
+
+    Produced by :meth:`System.session`.  The session owns no control flow
+    of its own — callers submit graphs through ``runner.run_graph`` /
+    ``runner.run_graphs`` and drive ``harness.executor``.  ``finish()``
+    quiesces background machinery (fault watchdogs) and renders the
+    :class:`~repro.systems.base.RunResult`.
+    """
+
+    def __init__(self, name: str, harness: Harness, runner) -> None:
+        self.name = name
+        self.harness = harness
+        self.runner = runner
+
+    def finish(self, **details) -> RunResult:
+        self.harness.workload_complete()
+        return self.harness.result(self.name, **details)
+
+
 class System:
     """Base class: build a harness, lower the graphs, run, report."""
 
@@ -75,14 +95,28 @@ class System:
         raise NotImplementedError
 
     # -- entry point ----------------------------------------------------
+    def session(self) -> "Session":
+        """Build a fresh simulated node ready to execute workload graphs.
+
+        Resets the per-simulation id counters, constructs the harness and
+        the system-specific runner, and hands both back.  :meth:`run` is
+        the one-shot convenience wrapper; callers that decide the next
+        graph *from inside the simulation* (the serving workload layer,
+        which builds each continuous-batching iteration from the sim-time
+        state of the request queue) drive the session incrementally
+        instead.
+        """
+        reset_tensor_ids()
+        reset_group_ids()
+        harness = self._build()
+        return Session(self.name, harness, self._runner(harness))
+
     def run(self, graphs: List[Graph]) -> RunResult:
         """Execute ``graphs`` in sequence on a fresh simulated node."""
         if not graphs:
             raise WorkloadError("no graphs supplied")
-        reset_tensor_ids()
-        reset_group_ids()
-        harness = self._build()
-        runner = self._runner(harness)
+        session = self.session()
+        harness, runner = session.harness, session.runner
         finished = {"done": False}
 
         def _done() -> None:

@@ -1,0 +1,111 @@
+"""Metamorphic properties of the TP layer-graph builders.
+
+Cross-checks :mod:`repro.llm.tp` against relations that must hold by
+construction, without trusting the builders' own arithmetic:
+
+* doubling the batch doubles total GEMM FLOPs and collective bytes;
+* the TP degree partitions the attention heads exactly (per-GPU softmax
+  work times ``tp`` recovers the unsharded head count);
+* graph FLOP totals equal the independent closed forms in
+  :mod:`repro.llm.transformer` (``analytic_layer_flops``), forward and
+  backward, both TP styles.
+
+All quantities are integer-valued floats well under 2**53, so the
+equalities are exact — no tolerances.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.graph import OpKind
+from repro.llm.models import ModelConfig
+from repro.llm.tp import (
+    basic_backward_layer,
+    basic_forward_layer,
+    sp_backward_layer,
+    sp_forward_layer,
+)
+from repro.llm.transformer import (
+    analytic_gemm_flops,
+    analytic_layer_flops,
+)
+
+BUILDERS = {
+    ("sp", "fwd"): sp_forward_layer,
+    ("sp", "bwd"): sp_backward_layer,
+    ("basic", "fwd"): basic_forward_layer,
+    ("basic", "bwd"): basic_backward_layer,
+}
+
+
+@st.composite
+def models_and_tp(draw):
+    """A random model whose dimensions all divide the drawn TP degree."""
+    tp = draw(st.sampled_from([2, 4, 8]))
+    heads = tp * draw(st.integers(1, 4))
+    hidden = 8 * heads * draw(st.integers(1, 4))
+    ffn = hidden * draw(st.integers(1, 4))
+    seq = 8 * tp * draw(st.integers(1, 8))
+    batch = draw(st.integers(1, 4))
+    return ModelConfig(name="prop", hidden=hidden, ffn_hidden=ffn,
+                       heads=heads, seq_len=seq, batch=batch,
+                       layers=2), tp
+
+
+def gemm_flops(graph) -> float:
+    return sum(op.gemm.flops() for op in graph.ops()
+               if op.kind is OpKind.GEMM)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=models_and_tp(),
+       style=st.sampled_from(["sp", "basic"]),
+       phase=st.sampled_from(["fwd", "bwd"]))
+def test_doubling_batch_doubles_flops_and_bytes(params, style, phase):
+    model, tp = params
+    build = BUILDERS[(style, phase)]
+    single = build(model, tp)
+    double = build(replace(model, batch=2 * model.batch), tp)
+    assert gemm_flops(double) == 2 * gemm_flops(single)
+    assert double.total_flops() == 2 * single.total_flops()
+    assert double.total_comm_bytes() == 2 * single.total_comm_bytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=models_and_tp())
+def test_tp_degree_partitions_heads_exactly(params):
+    model, tp = params
+    assert model.heads % tp == 0
+    graph = sp_forward_layer(model, tp)
+    softmax = graph["softmax"]
+    # Per-GPU softmax work times the TP degree recovers the unsharded
+    # head count — heads are partitioned with no remainder and no overlap.
+    assert softmax.elements * tp == \
+        model.batch * model.heads * model.seq_len ** 2
+    # Attention GEMMs carry the same 1/tp head sharding in their K/N dims.
+    assert graph["attn_score"].gemm.k * tp == model.hidden
+    assert graph["attn_ctx"].gemm.n * tp == model.hidden
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=models_and_tp(),
+       style=st.sampled_from(["sp", "basic"]),
+       phase=st.sampled_from(["fwd", "bwd"]))
+def test_graph_flops_match_analytic_counts(params, style, phase):
+    model, tp = params
+    graph = BUILDERS[(style, phase)](model, tp)
+    assert gemm_flops(graph) == analytic_gemm_flops(model, tp, phase)
+    assert graph.total_flops() == \
+        analytic_layer_flops(model, tp, style, phase)
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=models_and_tp())
+def test_backward_gemm_work_is_twice_forward(params):
+    """dgrad + wgrad: every forward GEMM costs exactly twice in backward."""
+    model, tp = params
+    for style in ("sp", "basic"):
+        fwd = gemm_flops(BUILDERS[(style, "fwd")](model, tp))
+        bwd = gemm_flops(BUILDERS[(style, "bwd")](model, tp))
+        assert bwd == 2 * fwd

@@ -1,0 +1,348 @@
+"""Unit tests for the serving workload layer (repro.llm.serving).
+
+The property suites (tests/properties/) cover the scheduler's sweep-level
+invariants; these tests pin the individual pieces — spec validation,
+request generation, graph construction, batcher admission/eviction
+mechanics, TP-partition validation, histogram quantiles, the session
+API, and the fig20 table/cache plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.errors import WorkloadError
+from repro.experiments.fig20_serving import format_table, spec_for
+from repro.experiments.parallel import SimTask
+from repro.experiments.runner import DEFAULT, Scale
+from repro.llm.graph import CommKind, OpKind
+from repro.llm.models import ModelConfig, by_name
+from repro.llm.serving import (
+    ContinuousBatcher,
+    Request,
+    ServingSpec,
+    generate_requests,
+    kv_bytes_per_token,
+    serving_iteration_graph,
+    simulate_serving,
+)
+from repro.llm.tiling import TilingConfig
+from repro.llm.tp import validate_tp_partition
+from repro.obs.metrics import MetricsRegistry
+from repro.systems import make_system
+
+TINY = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                   seq_len=64, batch=4, layers=4)
+KVPT = kv_bytes_per_token(TINY)
+
+
+def tiny_spec(**overrides) -> ServingSpec:
+    base = dict(model="tiny", seed=7, arrival_rate_rps=100_000.0,
+                horizon_ms=0.05, prompt_min=8, prompt_max=24,
+                output_min=1, output_max=3, max_batch_requests=4)
+    base.update(overrides)
+    return ServingSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    dict(arrival_rate_rps=0.0),
+    dict(arrival_rate_rps=-5.0),
+    dict(arrival_rate_rps=10.0, max_arrival_rate_rps=5.0),
+    dict(horizon_ms=0.0),
+    dict(prompt_min=0),
+    dict(prompt_min=9, prompt_max=8),
+    dict(output_min=0),
+    dict(max_batch_requests=0),
+    dict(kv_budget_bytes=0),
+])
+def test_spec_validation_rejects(bad):
+    with pytest.raises(WorkloadError):
+        tiny_spec(**bad)
+
+
+def test_spec_effective_max_rate_defaults_to_rate():
+    assert tiny_spec().effective_max_rate == 100_000.0
+    assert tiny_spec(max_arrival_rate_rps=200_000.0) \
+        .effective_max_rate == 200_000.0
+
+
+def test_kv_bytes_per_token():
+    # K and V, hidden wide, dtype-sized, one per layer.
+    assert KVPT == 2 * 256 * TINY.dtype_bytes * 4
+    assert kv_bytes_per_token(by_name("Mega-GPT-4B")) == \
+        2 * 2048 * 2 * 32
+
+
+# ---------------------------------------------------------------------------
+# Request generation
+# ---------------------------------------------------------------------------
+
+def test_generate_requests_deterministic_and_bounded():
+    spec = tiny_spec()
+    a = generate_requests(spec)
+    b = generate_requests(spec)
+    assert a == b
+    assert a, "candidate 0 is always accepted"
+    assert a[0].rid == 0
+    horizon_ns = spec.horizon_ms * 1e6
+    for r in a:
+        assert spec.prompt_min <= r.prompt_len <= spec.prompt_max
+        assert spec.output_min <= r.output_len <= spec.output_max
+        if r.rid > 0:
+            assert r.arrival_ns <= horizon_ns
+    arrivals = [r.arrival_ns for r in a]
+    assert arrivals == sorted(arrivals)
+
+
+def test_generate_requests_candidate_zero_survives_thinning():
+    # At a 1e-6 acceptance ratio nothing but the guaranteed candidate 0
+    # should make it through a short window.
+    spec = tiny_spec(arrival_rate_rps=0.1,
+                     max_arrival_rate_rps=100_000.0)
+    requests = generate_requests(spec)
+    assert [r.rid for r in requests] == [0]
+
+
+# ---------------------------------------------------------------------------
+# Iteration graphs
+# ---------------------------------------------------------------------------
+
+def test_iteration_graph_pads_to_tile_times_tp():
+    g = serving_iteration_graph(TINY, tp=4, participants=[(10, 10), (1, 9)],
+                                tile=32, style="sp")
+    m = g["qkv"].gemm.m
+    assert m % (32 * 4) == 0
+    assert m >= 11
+    # Attention is per participant, not padded.
+    assert g["attn_score.0"].gemm.m == 10
+    assert g["attn_score.1"].gemm.m == 1
+    assert g["attn_score.1"].gemm.n == 9   # reads its own KV span
+
+
+def test_iteration_graph_styles_pick_collectives():
+    sp = serving_iteration_graph(TINY, tp=4, participants=[(8, 8)],
+                                 tile=32, style="sp")
+    basic = serving_iteration_graph(TINY, tp=4, participants=[(8, 8)],
+                                    tile=32, style="basic")
+    sp_kinds = sorted(op.comm.name for op in sp.ops()
+                      if op.kind is OpKind.COMM)
+    basic_kinds = sorted(op.comm.name for op in basic.ops()
+                         if op.kind is OpKind.COMM)
+    assert sp_kinds == ["ALL_GATHER", "ALL_GATHER",
+                        "REDUCE_SCATTER", "REDUCE_SCATTER"]
+    assert basic_kinds == ["ALL_REDUCE", "ALL_REDUCE"]
+    assert sp["rs1"].comm is CommKind.REDUCE_SCATTER
+    assert basic["ar1"].comm is CommKind.ALL_REDUCE
+
+
+@pytest.mark.parametrize("participants, style", [
+    ([], "sp"),
+    ([(8, 8)], "flash"),
+    ([(0, 8)], "sp"),
+    ([(8, 0)], "sp"),
+])
+def test_iteration_graph_rejects_bad_inputs(participants, style):
+    with pytest.raises(WorkloadError):
+        serving_iteration_graph(TINY, tp=4, participants=participants,
+                                tile=32, style=style)
+
+
+def test_iteration_graph_checks_head_partition():
+    with pytest.raises(WorkloadError, match="attention heads"):
+        serving_iteration_graph(by_name("Mega-GPT-4B"), tp=5,
+                                participants=[(8, 8)], tile=32)
+
+
+# ---------------------------------------------------------------------------
+# TP-partition validation (graph-build-time satellite)
+# ---------------------------------------------------------------------------
+
+def test_validate_tp_partition_names_model_and_degree():
+    model = by_name("Mega-GPT-4B")     # 24 heads
+    with pytest.raises(WorkloadError) as exc:
+        validate_tp_partition(model, 5)
+    msg = str(exc.value)
+    assert "Mega-GPT-4B" in msg and "tp=5" in msg and "24" in msg
+    assert isinstance(exc.value, ValueError)   # catchable as plain ValueError
+
+
+def test_validate_tp_partition_accepts_exact_split():
+    validate_tp_partition(by_name("Mega-GPT-4B"), 8)
+    with pytest.raises(WorkloadError):
+        validate_tp_partition(TINY, 1)
+
+
+# ---------------------------------------------------------------------------
+# Continuous batcher
+# ---------------------------------------------------------------------------
+
+def _requests(*lens):
+    return [Request(rid=i, arrival_ns=float(i), prompt_len=p,
+                    output_len=o) for i, (p, o) in enumerate(lens)]
+
+
+def test_batcher_rejects_infeasible_budget():
+    reqs = _requests((16, 2))
+    with pytest.raises(WorkloadError, match="cannot hold"):
+        ContinuousBatcher(tiny_spec(kv_budget_bytes=KVPT), TINY, reqs)
+
+
+def test_batcher_admits_in_arrival_order_and_caps_batch():
+    reqs = _requests((8, 1), (8, 1), (8, 1))
+    batcher = ContinuousBatcher(tiny_spec(max_batch_requests=2),
+                                TINY, reqs)
+    plan = batcher.plan_iteration(now_ns=10.0)
+    assert [p[0].stats.rid for p in plan] == [0, 1]
+    # First participation is the whole prompt (prefill), span == chunk.
+    assert [(t, s) for _, t, s in plan] == [(8, 8), (8, 8)]
+
+
+def test_batcher_eviction_is_lifo_and_spares_oldest():
+    # Budget fits two requests' first iteration but not their growth:
+    # after the prefill commits, re-planning must evict the newest.
+    reqs = _requests((8, 3), (8, 3))
+    budget = 2 * 9 * KVPT          # both prefills fit exactly
+    batcher = ContinuousBatcher(tiny_spec(kv_budget_bytes=budget,
+                                          output_max=3), TINY, reqs)
+    plan = batcher.plan_iteration(10.0)
+    assert len(plan) == 2
+    batcher.commit(plan, end_ns=100.0)
+    plan2 = batcher.plan_iteration(100.0)
+    # Decode would need 2 x 10 tokens > budget -> rid 1 evicted, rid 0
+    # (the oldest) keeps running.
+    assert [p[0].stats.rid for p in plan2] == [0]
+    assert batcher.evictions == 1
+    victim = batcher.waiting[0]
+    assert victim.stats.rid == 1
+    assert victim.stats.evictions == 1
+    # The victim must re-prefill everything it had: prompt + 1 emitted.
+    assert victim.prefill_pending == 9
+
+
+def test_batcher_token_conservation_under_eviction():
+    reqs = _requests((8, 3), (8, 3))
+    budget = 2 * 9 * KVPT
+    batcher = ContinuousBatcher(tiny_spec(kv_budget_bytes=budget,
+                                          output_max=3), TINY, reqs)
+    now, participations = 0.0, {0: 0, 1: 0}
+    while not batcher.all_done():
+        now += 100.0
+        plan = batcher.plan_iteration(now)
+        for active, _, _ in plan:
+            participations[active.stats.rid] += 1
+        batcher.commit(plan, end_ns=now)
+    # Every participation emits exactly one token; an eviction's
+    # re-prefill *replaces* a decode, so counts equal output lengths.
+    assert participations == {0: 3, 1: 3}
+    assert all(a.stats.finish_ns is not None for a in batcher.finished)
+    assert batcher.peak_kv_bytes <= budget
+
+
+# ---------------------------------------------------------------------------
+# Driver + session + metrics
+# ---------------------------------------------------------------------------
+
+def _serve(system_name="TP-NVLS", style="basic", **overrides):
+    config = dgx_h100_config(num_gpus=4, seed=1)
+    tiling = TilingConfig(tile=32, chunk_bytes=32768, red_chunk_bytes=8192)
+    system = make_system(system_name, config, tiling=tiling, jitter=False)
+    return simulate_serving(system, tiny_spec(**overrides), model=TINY,
+                            style=style)
+
+
+def test_simulate_serving_details_and_stats_agree():
+    result = _serve()
+    assert result.run.details["serving.requests"] == len(result.stats)
+    assert result.run.details["serving.tokens"] == \
+        result.total_output_tokens
+    assert result.run.details["serving.iterations"] == result.iterations
+    assert result.tokens_per_s > 0
+    assert result.makespan_ns >= max(s.finish_ns for s in result.stats)
+
+
+def test_simulate_serving_rejects_bad_tp_partition():
+    config = dgx_h100_config(num_gpus=3, seed=1)
+    system = make_system("TP-NVLS", config, jitter=False)
+    with pytest.raises(WorkloadError, match="tiny"):
+        simulate_serving(system, tiny_spec(), model=TINY, style="basic")
+
+
+def test_simulate_serving_populates_metrics_registry():
+    from repro import obs
+    registry = MetricsRegistry()
+    obs.install(metrics=registry)
+    try:
+        result = _serve()
+    finally:
+        obs.reset()
+    snap = json.loads(registry.to_json())
+    counters = snap["counters"]
+    assert counters["serving.requests_completed"] == len(result.stats)
+    assert counters["serving.tokens_emitted"] == \
+        result.total_output_tokens
+    assert counters["serving.iterations"] == result.iterations
+    assert snap["histograms"]["serving.ttft_ns"]["count"] == \
+        len(result.stats)
+
+
+# ---------------------------------------------------------------------------
+# Histogram quantiles (obs satellite)
+# ---------------------------------------------------------------------------
+
+def test_histogram_quantile_walks_log2_buckets():
+    registry = MetricsRegistry()
+    h = registry.histogram("q")
+    for v in (1.0, 2.0, 4.0, 1000.0):
+        h.record(v)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(0.5) == 2.0
+    # Upper bucket bound, clamped to the observed max.
+    assert h.quantile(1.0) == 1000.0
+    assert h.quantile(0.9) == 1000.0
+
+
+def test_histogram_quantile_edge_cases():
+    registry = MetricsRegistry()
+    h = registry.histogram("q")
+    assert h.quantile(0.5) == 0.0          # empty
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Experiment plumbing
+# ---------------------------------------------------------------------------
+
+def test_simtask_fingerprint_distinguishes_serving_specs():
+    cfg = dgx_h100_config()
+    base = dict(system="CAIS", graphs=(), config=cfg, scale=DEFAULT)
+    plain = SimTask(**base)
+    served = SimTask(serving=spec_for(DEFAULT), **base)
+    served2 = SimTask(serving=spec_for(DEFAULT, seed=1), **base)
+    prints = {t.fingerprint() for t in (plain, served, served2)}
+    assert len(prints) == 3
+
+
+def test_spec_for_scales_horizon_with_tokens_fraction():
+    assert spec_for(Scale(tokens_fraction=0.5)).horizon_ms == \
+        2 * spec_for(Scale(tokens_fraction=0.25)).horizon_ms
+
+
+def test_format_table_reports_cais_advantage():
+    cell = {"makespan_ns": 1.0, "serving.tokens_per_s": 100.0,
+            "serving.ttft_mean_ns": 1e6, "serving.ttft_p95_ns": 2e6,
+            "serving.tpot_mean_ns": 5e5, "serving.requests": 3.0,
+            "serving.tokens": 12.0, "serving.iterations": 7.0,
+            "serving.evictions": 1.0}
+    results = {"TP-NVLS": dict(cell),
+               "CAIS": dict(cell, **{"serving.tokens_per_s": 150.0})}
+    text = format_table(results)
+    assert "Fig. 20" in text
+    assert "1.50x the best baseline (TP-NVLS)" in text

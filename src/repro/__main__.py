@@ -8,6 +8,8 @@ Usage::
     python -m repro --system CAIS --workload L1 --trace out.json \\
         --metrics --profile
     python -m repro explain --workload L2 --systems CAIS TP-NVLS
+    python -m repro report --faults --json faulted.json
+    python -m repro diff clean.json faulted.json
     python -m repro --list
 
 The experiment harness (``python -m repro.experiments``) regenerates the
@@ -45,6 +47,16 @@ def main(argv=None) -> int:
         # (repro.experiments.explain) — everything after `explain` is its.
         from .experiments.explain import main as explain_main
         return explain_main(argv[1:])
+    if argv and argv[0] == "report":
+        # Subcommand: SLO run report for the serving workload
+        # (repro.experiments.report).
+        from .experiments.report import main as report_main
+        return report_main(argv[1:])
+    if argv and argv[0] == "diff":
+        # Subcommand: attribute metric movement between two run reports
+        # (repro.experiments.diff).
+        from .experiments.diff import main as diff_main
+        return diff_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro")
     parser.add_argument("--list", action="store_true",
                         help="list systems and models, then exit")

@@ -172,7 +172,15 @@ def main(argv=None) -> int:
                         metavar="X",
                         help="fault intensity in [0,1] "
                              "(default: %(default)s)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="also write a serving run-report JSON "
+                             "(fig20_serving: fault-free; fig19: faulted "
+                             "at peak intensity; see `python -m repro "
+                             "report`)")
     args = parser.parse_args(argv)
+    if args.report and args.experiment not in ("fig19", "fig20_serving"):
+        parser.error("--report is only meaningful for fig19 and "
+                     "fig20_serving")
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
@@ -206,6 +214,11 @@ def main(argv=None) -> int:
         if args.out:
             with open(args.out, "a") as fh:
                 fh.write("\n\n".join(blocks) + "\n")
+        if args.report:
+            from .report import experiment_report, write_report
+            write_report(experiment_report(args.experiment, scale, ctx),
+                         args.report)
+            print(f"report: {args.report}")
         if metrics is not None:
             print(metrics.to_json())
     finally:

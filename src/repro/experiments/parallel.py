@@ -86,6 +86,14 @@ class SimTask:
     #: (``graphs`` stays empty — the driver builds one graph per
     #: continuous-batching iteration from the spec).
     serving: Optional[ServingSpec] = None
+    #: Ask the worker to run under a private metrics registry and ship the
+    #: full histogram states (not just scalar summaries) back in the
+    #: envelope, so matrix callers can merge distributions across cells
+    #: (:func:`repro.obs.merge_histogram_states`).  Like
+    #: ``utilization_windows`` it does not change the simulation outcome
+    #: and stays out of the cache fingerprint — see
+    #: :func:`summary_satisfies`.
+    collect_histograms: bool = False
 
     def payload(self) -> Dict[str, object]:
         """Canonical fingerprint payload: everything that can change the
@@ -147,10 +155,15 @@ class RunSummary:
     #: Fig. 16 series: ((window_center_us, mean_utilization), ...).
     utilization_series: Optional[Tuple[Tuple[float, float], ...]] = None
     details: Tuple[Tuple[str, float], ...] = ()
+    #: Full histogram states (:meth:`repro.obs.Histogram.state`), sorted by
+    #: name, when the task asked for them; ``None`` = not collected (an
+    #: empty tuple means collected-but-nothing-recorded, so cache entries
+    #: distinguish the two).
+    histograms: Optional[Tuple[Dict[str, object], ...]] = None
 
     @classmethod
-    def from_result(cls, result,
-                    windows: Optional[int] = None) -> "RunSummary":
+    def from_result(cls, result, windows: Optional[int] = None,
+                    histograms: bool = False) -> "RunSummary":
         """Project a live :class:`RunResult` down to the summary form."""
         link_bytes = 0
         series = None
@@ -164,6 +177,10 @@ class RunSummary:
         if result.merge_stats is not None:
             merge_peak = float(result.merge_stats.peak_bytes_per_port())
             merge_wait = result.merge_stats.average_wait_ns()
+        hist_states = None
+        if histograms:
+            hist_states = (tuple(result.metrics.histogram_states())
+                           if result.metrics is not None else ())
         return cls(
             system=result.system,
             makespan_ns=result.makespan_ns,
@@ -178,6 +195,7 @@ class RunSummary:
             merge_average_wait_ns=merge_wait,
             utilization_series=series,
             details=tuple(sorted(result.details.items())),
+            histograms=hist_states,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -188,6 +206,8 @@ class RunSummary:
             out["utilization_series"] = [list(p)
                                          for p in self.utilization_series]
         out["details"] = [list(p) for p in self.details]
+        if self.histograms is not None:
+            out["histograms"] = [dict(h) for h in self.histograms]
         return out
 
     @classmethod
@@ -199,6 +219,8 @@ class RunSummary:
                 (float(t), float(u)) for t, u in kw["utilization_series"])
         kw["details"] = tuple((str(k), float(v))
                               for k, v in kw.get("details", ()))
+        if kw.get("histograms") is not None:
+            kw["histograms"] = tuple(dict(h) for h in kw["histograms"])
         return cls(**kw)
 
 
@@ -226,6 +248,8 @@ def summary_satisfies(task: SimTask, summary: RunSummary) -> bool:
     a fig16-style task therefore re-checks the summary's shape here and
     re-simulates on mismatch, overwriting the entry with a richer one.
     """
+    if task.collect_histograms and summary.histograms is None:
+        return False
     if task.utilization_windows is None:
         return True
     series = summary.utilization_series
@@ -266,16 +290,30 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
     both modes share one code path per task.
     """
     start = time.perf_counter()
-    if task.serving is not None:
-        result = _run_serving(task)
-    elif task.ablation is not None:
-        result = _run_ablation(task)
-    else:
-        from .runner import run_system
-        result = run_system(task.system, list(task.graphs), task.config,
-                            task.scale, **dict(task.kwargs))
-    summary = RunSummary.from_result(result,
-                                     windows=task.utilization_windows)
+    prev_metrics = None
+    if task.collect_histograms:
+        # A private registry per task, so the harvested histograms describe
+        # exactly this simulation even when the caller's own registry is
+        # installed (and in pool workers, where nothing is).
+        from .. import obs
+        prev_metrics = current_metrics()
+        obs.install(metrics=obs.MetricsRegistry())
+    try:
+        if task.serving is not None:
+            result = _run_serving(task)
+        elif task.ablation is not None:
+            result = _run_ablation(task)
+        else:
+            from .runner import run_system
+            result = run_system(task.system, list(task.graphs), task.config,
+                                task.scale, **dict(task.kwargs))
+        summary = RunSummary.from_result(
+            result, windows=task.utilization_windows,
+            histograms=task.collect_histograms)
+    finally:
+        if prev_metrics is not None:
+            from .. import obs
+            obs.install(metrics=prev_metrics)
     return summary, (time.perf_counter() - start) * 1e3
 
 
@@ -368,6 +406,8 @@ def run_matrix(tasks: Sequence[SimTask],
                     continue
             src = queued.get(fps[i])
             if src is not None and (
+                    not task.collect_histograms or
+                    tasks[src].collect_histograms) and (
                     task.utilization_windows is None or
                     task.utilization_windows ==
                     tasks[src].utilization_windows):

@@ -17,7 +17,7 @@ from ..common.events import Simulator
 from ..common.config import FaultSpec
 from ..common.rng import RngPool
 from ..interconnect.message import Message, Op, mark_corrupted
-from ..obs import current_metrics, current_tracer
+from ..obs import current_metrics, current_timeseries, current_tracer
 from .retry import RetryPolicy, Retransmitter
 from .schedule import FaultEvent, FaultKind, FaultSchedule
 from .watchdog import Watchdog
@@ -33,16 +33,25 @@ _DROPPABLE_OPS = frozenset({Op.RED_CAIS, Op.RED_CAIS_ACK, Op.CHUNK_ACK})
 
 
 class FaultCounters:
-    """Order-independent event counters, mirrored to obs metrics."""
+    """Order-independent event counters, mirrored to obs metrics.
 
-    def __init__(self) -> None:
+    With a simulator attached, every bump is also stamped into the
+    windowed time-series sink (``faults.*`` per-window counters) so run
+    reports can correlate retries and drops with fault windows.
+    """
+
+    def __init__(self, sim: Simulator = None) -> None:
         self._counts: Dict[str, int] = {}
         self._mx = current_metrics()
+        self._ts = current_timeseries()
+        self._sim = sim
 
     def bump(self, name: str, n: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + n
         if self._mx.enabled:
             self._mx.counter(f"faults.{name}").inc(n)
+        if self._ts.enabled and self._sim is not None:
+            self._ts.counter(f"faults.{name}").add(self._sim.now, n)
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
@@ -64,7 +73,7 @@ class FaultState:
     def __init__(self, sim: Simulator, spec: FaultSpec):
         self.sim = sim
         self.spec = spec
-        self.counters = FaultCounters()
+        self.counters = FaultCounters(sim)
         self.retransmitter = Retransmitter(sim, RetryPolicy.from_spec(spec),
                                            self.counters)
         #: True once any switch's NVLS compute unit has failed; new NVLS
@@ -98,6 +107,7 @@ class FaultInjector:
         self._drop_rng = RngPool(harness.config.seed).stream(
             f"faults.{schedule.spec.fault_seed}.msg")
         self._tr = current_tracer()
+        self._ts = current_timeseries()
         self._track = (self._tr.track("Faults", "injected")
                        if self._tr.enabled else 0)
         self._next_span = 0
@@ -149,6 +159,14 @@ class FaultInjector:
             return
         counters = self.state.counters
         span = self._span_begin(ev)
+        if self._ts.enabled:
+            # duration 0 means permanent (PLANE_FAIL / NVLS_FAIL): an
+            # open-ended mark that reports clamp to the makespan.
+            self._ts.mark_window(
+                self.sim.now,
+                self.sim.now + ev.duration_ns if ev.duration_ns > 0.0
+                else None,
+                f"{ev.kind.value} {ev.target}")
         if ev.kind is FaultKind.LINK_DEGRADE:
             self._links[ev.target].set_bandwidth_factor(ev.magnitude)
             counters.bump("link_degrade_windows")

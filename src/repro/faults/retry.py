@@ -130,12 +130,18 @@ class Retransmitter:
         self.counters.bump("retries")
         if self._cz.enabled:
             # Attribute the timeout wait (and the resent copy's whole
-            # causal subtree) to retransmission.  The timer event carries
-            # the original send's cause as ambient; chained retries link
-            # through each other via re-arming below.
+            # causal subtree) to retransmission.  The node spans the ack
+            # wait that just expired, so interval-weighted attribution
+            # (request phase breakdowns, critical-path segments — which
+            # clamp overlaps) charges the lost time to `retransmit`
+            # rather than seeing a zero-duration blip.  The timer event
+            # carries the original send's cause as ambient; chained
+            # retries link through each other via re-arming below.
             now = self.sim.now
+            waited = (self.policy.timeout_for(entry.attempt - 1)
+                      * entry.timeout_scale)
             self._cz.current = self._cz.node(
-                RETRANSMIT, now, now,
+                RETRANSMIT, now - waited, now,
                 f"retransmit attempt {entry.attempt}",
                 parents=((self._cz.current, "retry"),))
         entry.resend(entry.attempt)

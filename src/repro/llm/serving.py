@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import SimulationError, WorkloadError
 from ..common.rng import RngPool
-from ..obs import current_metrics, current_tracer
+from ..obs import (current_causality, current_metrics, current_request_log,
+                   current_timeseries, current_tracer)
+from ..obs.requests import PHASE_DECODE, PHASE_PREFILL, category_shares
 from .graph import CommKind, Graph
 from .models import ModelConfig
 from .tiling import ceil_div
@@ -261,6 +263,10 @@ class ContinuousBatcher:
         self.finished: List[_Active] = []
         self.evictions = 0
         self.peak_kv_bytes = 0
+        self.kv_bytes_now = 0
+        #: Observability hook, called as ``on_evict(active, now_ns)`` for
+        #: every eviction; None (the default) costs one attribute read.
+        self.on_evict: Optional[Callable] = None
 
     # -- queue maintenance ---------------------------------------------
     def release_arrivals(self, now_ns: float) -> None:
@@ -296,7 +302,10 @@ class ContinuousBatcher:
                                       + victim.emitted)
             self.evictions += 1
             self.waiting.insert(0, victim)
+            if self.on_evict is not None:
+                self.on_evict(victim, now_ns)
         kv_now = self._kv_after(self.running)
+        self.kv_bytes_now = kv_now
         if kv_now > self.peak_kv_bytes:
             self.peak_kv_bytes = kv_now
         plan: List[Participant] = []
@@ -498,16 +507,43 @@ def simulate_serving(system, spec: ServingSpec,
     sim = session.harness.sim
     tracer = current_tracer()
     metrics = current_metrics()
+    ts = current_timeseries()
+    reqlog = current_request_log()
+    cz = current_causality()
     tile = system.tiling.tile
     state = {"iterations": 0}
     max_iterations = sum(r.output_len for r in requests) + 16
+    #: One flag for all per-iteration instrumentation below, so a run
+    #: with every sink disabled takes exactly the pre-existing path.
+    obs_iter = ts.enabled or reqlog.enabled
+    if reqlog.enabled:
+        for r in requests:
+            reqlog.open(r.rid, r.arrival_ns, r.prompt_len, r.output_len)
+    if obs_iter:
+        def _on_evict(active: _Active, now_ns: float) -> None:
+            if reqlog.enabled:
+                reqlog.get(active.stats.rid).event("evicted", now_ns)
+            if ts.enabled:
+                ts.counter("serving.evictions").add(now_ns, 1)
+        batcher.on_evict = _on_evict
 
     def record_finish(active: _Active, track_args: dict) -> None:
         s = active.stats
+        if reqlog.enabled:
+            reqlog.get(s.rid).close(s.finish_ns, s.first_token_ns)
         if tracer.enabled:
             track = tracer.track("serving", f"req{s.rid:04d}")
             handle = tracer.begin(track, "request", s.arrival_ns,
                                   cat="serving", args=track_args)
+            if reqlog.enabled:
+                # One span per phase, nested inside the request span; the
+                # phases tile arrival -> finish, so their durations sum to
+                # the request's e2e latency in the trace too.
+                for ph in reqlog.get(s.rid).phases:
+                    ph_handle = tracer.begin(track, ph.kind, ph.start_ns,
+                                             cat="serving-phase",
+                                             args={"tokens": ph.tokens})
+                    tracer.end(ph_handle, ph.end_ns)
             tracer.instant(track, "first_token", s.first_token_ns,
                            cat="serving")
             tracer.end(handle, s.finish_ns)
@@ -518,6 +554,12 @@ def simulate_serving(system, spec: ServingSpec,
             metrics.histogram("serving.e2e_ns").record(s.e2e_ns)
             if s.output_len > 1:
                 metrics.histogram("serving.tpot_ns").record(s.tpot_ns)
+        if ts.enabled:
+            ts.counter("serving.requests_completed").add(s.finish_ns, 1)
+            ts.sketch("serving.ttft_ns").record(s.finish_ns, s.ttft_ns)
+            ts.sketch("serving.e2e_ns").record(s.finish_ns, s.e2e_ns)
+            if s.output_len > 1:
+                ts.sketch("serving.tpot_ns").record(s.finish_ns, s.tpot_ns)
 
     def step() -> None:
         now = sim.now
@@ -537,12 +579,37 @@ def simulate_serving(system, spec: ServingSpec,
         if metrics.enabled:
             metrics.gauge("serving.kv_bytes").set(batcher.peak_kv_bytes)
             metrics.counter("serving.iterations").inc()
+        it_start = now
+        if obs_iter:
+            # Phase kinds must be read at plan time: commit() clears
+            # prefill_pending before iteration_done sees it.
+            kinds = [PHASE_PREFILL if a.prefill_pending else PHASE_DECODE
+                     for a, _, _ in plan]
+            kv_now = batcher.kv_bytes_now
+            cz_mark = len(cz) if cz.enabled else 0
         graph = serving_iteration_graph(
             model, tp, [(tokens, span) for _, tokens, span in plan],
             tile=tile, style=style,
             name=f"serve-it{state['iterations']:04d}")
 
         def iteration_done() -> None:
+            it_end = sim.now
+            if obs_iter:
+                shares = (category_shares(cz, cz_mark, it_start, it_end)
+                          if cz.enabled else None)
+                if ts.enabled:
+                    ts.counter("serving.tokens").add(it_end, len(plan))
+                    ts.counter("serving.iterations").add(it_end, 1)
+                    ts.gauge("serving.kv_bytes").set(it_end, kv_now)
+                    ts.gauge("serving.batch_requests").set(it_end,
+                                                           len(plan))
+                    ts.sketch("serving.iteration_ns").record(
+                        it_end, it_end - it_start)
+                if reqlog.enabled:
+                    for (active, tokens, _span), kind in zip(plan, kinds):
+                        reqlog.get(active.stats.rid).phase(
+                            kind, it_start, it_end, tokens,
+                            dict(shares) if shares else None)
             for active in batcher.commit(plan, sim.now):
                 record_finish(active, {"prompt": active.stats.prompt_len,
                                        "output": active.stats.output_len,

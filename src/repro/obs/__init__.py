@@ -1,6 +1,6 @@
 """Unified observability layer: tracing, metrics, self-profiling.
 
-Three cooperating pieces, all off by default and zero-cost when off:
+Cooperating pieces, all off by default and zero-cost when off:
 
 * :class:`Tracer` — structured spans/instants/counters on per-component
   tracks, exportable to Chrome/Perfetto JSON (:mod:`.perfetto`).
@@ -8,13 +8,19 @@ Three cooperating pieces, all off by default and zero-cost when off:
   histograms with deterministic snapshots (:mod:`.metrics`).
 * :class:`SimProfiler` — host-time hotspot profile of the simulator's own
   event loop (:mod:`.profiler`).
+* :class:`CausalityRecorder` — causal event DAG behind ``repro explain``
+  (:mod:`.causality`).
+* :class:`TimeSeriesSink` — fixed sim-time windows of counters/gauges/
+  quantile sketches for SLO reporting (:mod:`.timeseries`).
+* :class:`RequestLog` — per-request span records for the serving
+  workload (:mod:`.requests`).
 
-Components capture the *current* tracer/metrics at construction time via
-:func:`current_tracer` / :func:`current_metrics`, so :func:`install` must
-run before the harness is built (the CLI and tests do).  The defaults are
-null objects whose ``enabled`` flag is False; instrumented hot paths guard
-on that flag and therefore cost one attribute read when observability is
-off — see DESIGN.md, "Observability".
+Components capture the *current* sinks at construction time via the
+``current_*`` accessors, so :func:`install` must run before the harness
+is built (the CLI and tests do).  The defaults are null objects whose
+``enabled`` flag is False; instrumented hot paths guard on that flag and
+therefore cost one attribute read when observability is off — see
+DESIGN.md, "Observability".
 """
 
 from __future__ import annotations
@@ -22,26 +28,35 @@ from __future__ import annotations
 from typing import Optional
 
 from .causality import CausalityRecorder, NullCausality
-from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                      NullMetrics)
+from .metrics import (Counter, EmptyDistributionWarning, Gauge, Histogram,
+                      MetricsRegistry, NullMetrics, merge_histogram_states)
 from .profiler import SimProfiler
+from .requests import NullRequestLog, RequestLog
+from .timeseries import NullTimeSeries, TimeSeriesSink
 from .tracer import NullTracer, Tracer
 
 __all__ = [
-    "CausalityRecorder", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "NullCausality", "NullMetrics", "NullTracer", "SimProfiler", "Tracer",
-    "current_tracer", "current_metrics", "current_profiler",
-    "current_causality", "install", "reset",
+    "CausalityRecorder", "Counter", "EmptyDistributionWarning", "Gauge",
+    "Histogram", "MetricsRegistry", "NullCausality", "NullMetrics",
+    "NullRequestLog", "NullTimeSeries", "NullTracer", "RequestLog",
+    "SimProfiler", "TimeSeriesSink", "Tracer", "current_tracer",
+    "current_metrics", "current_profiler", "current_causality",
+    "current_timeseries", "current_request_log", "install",
+    "merge_histogram_states", "reset",
 ]
 
 _NULL_TRACER = NullTracer()
 _NULL_METRICS = NullMetrics()
 _NULL_CAUSALITY = NullCausality()
+_NULL_TIMESERIES = NullTimeSeries()
+_NULL_REQUEST_LOG = NullRequestLog()
 
 _tracer: NullTracer = _NULL_TRACER
 _metrics: NullMetrics = _NULL_METRICS
 _profiler: Optional[SimProfiler] = None
 _causality: NullCausality = _NULL_CAUSALITY
+_timeseries: NullTimeSeries = _NULL_TIMESERIES
+_request_log: NullRequestLog = _NULL_REQUEST_LOG
 
 
 def current_tracer():
@@ -64,14 +79,25 @@ def current_causality():
     return _causality
 
 
-def install(tracer=None, metrics=None, profiler=None,
-            causality=None) -> None:
+def current_timeseries():
+    """The installed windowed sink (:class:`NullTimeSeries` when off)."""
+    return _timeseries
+
+
+def current_request_log():
+    """The installed request log (:class:`NullRequestLog` when off)."""
+    return _request_log
+
+
+def install(tracer=None, metrics=None, profiler=None, causality=None,
+            timeseries=None, request_log=None) -> None:
     """Install observability sinks; call *before* building a harness.
 
     Only the arguments given are replaced, so tracing can be enabled
     without metrics and vice versa.
     """
-    global _tracer, _metrics, _profiler, _causality
+    global _tracer, _metrics, _profiler, _causality, _timeseries, \
+        _request_log
     if tracer is not None:
         _tracer = tracer
     if metrics is not None:
@@ -80,12 +106,19 @@ def install(tracer=None, metrics=None, profiler=None,
         _profiler = profiler
     if causality is not None:
         _causality = causality
+    if timeseries is not None:
+        _timeseries = timeseries
+    if request_log is not None:
+        _request_log = request_log
 
 
 def reset() -> None:
     """Restore the null defaults (used by tests and between CLI runs)."""
-    global _tracer, _metrics, _profiler, _causality
+    global _tracer, _metrics, _profiler, _causality, _timeseries, \
+        _request_log
     _tracer = _NULL_TRACER
     _metrics = _NULL_METRICS
     _profiler = None
     _causality = _NULL_CAUSALITY
+    _timeseries = _NULL_TIMESERIES
+    _request_log = _NULL_REQUEST_LOG

@@ -15,7 +15,17 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, Iterable, List, Optional
+
+
+class EmptyDistributionWarning(RuntimeWarning):
+    """A quantile was requested from an empty histogram or sketch.
+
+    The query returns ``nan`` instead of raising so report pipelines keep
+    running (an idle window legitimately has no samples); the warning names
+    the instrument so a systematically-empty distribution is still visible.
+    """
 
 
 class Counter:
@@ -89,7 +99,10 @@ class Histogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            return 0.0
+            warnings.warn(
+                f"quantile({q:g}) of empty histogram {self.name!r} is nan",
+                EmptyDistributionWarning, stacklevel=2)
+            return math.nan
         rank = q * self.count
         seen = 0
         for k in sorted(self._buckets):
@@ -112,6 +125,38 @@ class Histogram:
             "mean": self.mean(),
             "buckets": self.buckets(),
         }
+
+    def state(self) -> Dict[str, object]:
+        """Full mergeable state (raw bucket indices, JSON-serializable).
+
+        Unlike :meth:`summary` — a human-facing projection — the state
+        round-trips through :meth:`from_state` losslessly and two states
+        combine associatively via :func:`merge_histogram_states`, which is
+        what lets matrix workers ship distributions (not just scalar
+        summaries) back across the process boundary.
+        """
+        return {
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): self._buckets[k]
+                        for k in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        """Rebuild a live histogram from :meth:`state` output."""
+        h = cls(str(state["name"]))
+        h.count = int(state["count"])
+        h.total = float(state["sum"])
+        if h.count:
+            h.min = float(state["min"])
+            h.max = float(state["max"])
+        h._buckets = {int(k): int(n)
+                      for k, n in dict(state["buckets"]).items()}
+        return h
 
 
 class _NullInstrument:
@@ -192,6 +237,12 @@ class MetricsRegistry:
         return sorted(set(self._counters) | set(self._gauges)
                       | set(self._histograms))
 
+    def histogram_states(self) -> List[Dict[str, object]]:
+        """Full state of every histogram, sorted by name (see
+        :meth:`Histogram.state`)."""
+        return [self._histograms[n].state()
+                for n in sorted(self._histograms)]
+
     def snapshot(self) -> Dict[str, dict]:
         """JSON-serializable state of every instrument, keys sorted."""
         return {
@@ -206,3 +257,41 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Deterministic JSON rendering of :meth:`snapshot`."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def merge_histogram_states(states: Iterable[Dict[str, object]]
+                           ) -> Dict[str, object]:
+    """Combine histogram states (:meth:`Histogram.state`) into one.
+
+    Associative and commutative up to float-summation order on ``sum``
+    (counts and buckets are integers, so they merge exactly); merging an
+    empty iterable yields an empty unnamed state.  All inputs should
+    describe the same logical instrument — the first non-empty name wins.
+    """
+    name = ""
+    count = 0
+    total = 0.0
+    lo = math.inf
+    hi = -math.inf
+    buckets: Dict[int, int] = {}
+    for state in states:
+        if not name:
+            name = str(state.get("name", ""))
+        n = int(state["count"])
+        if not n:
+            continue
+        count += n
+        total += float(state["sum"])
+        lo = min(lo, float(state["min"]))
+        hi = max(hi, float(state["max"]))
+        for k, c in dict(state["buckets"]).items():
+            k = int(k)
+            buckets[k] = buckets.get(k, 0) + int(c)
+    return {
+        "name": name,
+        "count": count,
+        "sum": total,
+        "min": lo if count else None,
+        "max": hi if count else None,
+        "buckets": {str(k): buckets[k] for k in sorted(buckets)},
+    }

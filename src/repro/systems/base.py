@@ -30,10 +30,12 @@ from ..llm.tiling import TilingConfig, compute_kernel
 from ..metrics.merge_stats import MergeStats
 from ..metrics.timeline import Timeline
 from ..nvls.engine import NvlsEngine
-from ..obs import current_causality, current_metrics, current_tracer
+from ..obs import (current_causality, current_metrics, current_request_log,
+                   current_timeseries, current_tracer)
 from ..obs.causality import BARRIER_SYNC
 from ..obs.critical_path import CriticalPath, annotate_tracer, \
     extract_critical_path
+from ..obs.timeseries import annotate_windows
 
 
 @dataclass
@@ -61,6 +63,11 @@ class RunResult:
     #: a causality recorder was installed for the run; the per-category
     #: nanoseconds also land in ``details`` under ``explain.<category>``.
     critical_path: Optional[CriticalPath] = None
+    #: Windowed time-series sink active during the run (None when the sink
+    #: was disabled); consumed by ``repro report``.
+    timeseries: Optional[object] = None
+    #: Per-request span log (serving workloads only, None when disabled).
+    request_log: Optional[object] = None
 
     def average_bandwidth_utilization(self) -> float:
         """Mean utilization across all links and both directions, over the
@@ -206,6 +213,10 @@ class Harness:
                     metrics.gauge(f"explain.{category}_ns").set(ns)
             if tracer.enabled:
                 annotate_tracer(tracer, critical_path)
+        ts = current_timeseries()
+        if ts.enabled and tracer.enabled:
+            annotate_windows(tracer, ts, makespan)
+        reqlog = current_request_log()
         return RunResult(system=system, makespan_ns=makespan,
                          compute_ns=self.executor.total_compute_ns,
                          tbs_completed=self.executor.tbs_completed,
@@ -216,7 +227,9 @@ class Harness:
                          timeline=self.timeline,
                          metrics=metrics if metrics.enabled else None,
                          details=dict(details),
-                         critical_path=critical_path)
+                         critical_path=critical_path,
+                         timeseries=ts if ts.enabled else None,
+                         request_log=reqlog if reqlog.enabled else None)
 
 
 class CommImpl(Protocol):

@@ -10,7 +10,8 @@ from repro import obs
 from repro.common.events import Simulator
 from repro.metrics.export import run_result_to_dict
 from repro.metrics.timeline import Timeline
-from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.metrics import (Histogram, MetricsRegistry, NullMetrics,
+                               merge_histogram_states)
 from repro.obs.perfetto import (to_chrome_trace, validate_chrome_trace,
                                 validate_trace_file, write_chrome_trace)
 from repro.obs.profiler import SimProfiler, owner_key
@@ -370,3 +371,68 @@ def test_disabled_run_records_nothing():
     assert obs.current_tracer().enabled is False
     assert obs.current_metrics().enabled is False
     assert obs.current_profiler() is None
+
+
+# ---------------------------------------------------------------------------
+# Histogram state transport (matrix-worker envelopes)
+# ---------------------------------------------------------------------------
+
+def _hist(name, values):
+    h = Histogram(name)
+    for v in values:
+        h.record(v)
+    return h
+
+
+def test_histogram_state_roundtrips_losslessly():
+    h = _hist("lat", [1.0, 2.0, 1000.0, 0.5])
+    state = h.state()
+    json.loads(json.dumps(state))  # JSON-serializable as-is
+    back = Histogram.from_state(json.loads(json.dumps(state)))
+    assert back.state() == state
+    assert back.count == h.count
+    assert back.quantile(0.5) == h.quantile(0.5)
+    assert back.quantile(0.99) == h.quantile(0.99)
+
+
+def test_empty_histogram_state_roundtrips():
+    state = Histogram("empty").state()
+    assert state["min"] is None and state["max"] is None
+    back = Histogram.from_state(state)
+    assert back.count == 0 and back.state() == state
+
+
+def test_merge_histogram_states_matches_single_stream():
+    # Integer-valued samples keep the float `sum` exact, so the merged
+    # state must equal recording everything into one histogram.
+    a = _hist("lat", [1.0, 4.0, 9.0])
+    b = _hist("lat", [2.0, 256.0])
+    merged = merge_histogram_states([a.state(), b.state()])
+    assert merged == _hist("lat", [1.0, 4.0, 9.0, 2.0, 256.0]).state()
+
+
+def test_merge_histogram_states_is_associative_and_commutative():
+    parts = [_hist("lat", [1.0]).state(),
+             _hist("lat", [2.0, 8.0]).state(),
+             _hist("lat", [512.0]).state()]
+    a, b, c = parts
+    left = merge_histogram_states([merge_histogram_states([a, b]), c])
+    right = merge_histogram_states([a, merge_histogram_states([b, c])])
+    assert left == right
+    assert merge_histogram_states([c, a, b]) == left
+
+
+def test_merge_histogram_states_skips_empty_and_handles_nothing():
+    empty = Histogram("").state()
+    real = _hist("lat", [3.0]).state()
+    assert merge_histogram_states([empty, real]) == real
+    out = merge_histogram_states([])
+    assert out["count"] == 0 and out["name"] == ""
+
+
+def test_registry_histogram_states_sorted_by_name():
+    mx = MetricsRegistry()
+    mx.histogram("z.lat").record(1.0)
+    mx.histogram("a.lat").record(2.0)
+    states = mx.histogram_states()
+    assert [s["name"] for s in states] == ["a.lat", "z.lat"]

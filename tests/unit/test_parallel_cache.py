@@ -35,10 +35,12 @@ def tiny_graph(name="tiny", m=256) -> Graph:
     return g
 
 
-def tiny_task(system="TP-NVLS", seed=2026, m=256, windows=None) -> SimTask:
+def tiny_task(system="TP-NVLS", seed=2026, m=256, windows=None,
+              histograms=False) -> SimTask:
     return SimTask(system=system, graphs=(tiny_graph(m=m),),
                    config=dgx_h100_config(seed=seed), scale=SCALE,
-                   utilization_windows=windows)
+                   utilization_windows=windows,
+                   collect_histograms=histograms)
 
 
 class TestCanonical:
@@ -127,6 +129,75 @@ class TestRunSummary:
         rich, _ = _run_one(tiny_task(windows=4))
         assert summary_satisfies(tiny_task(windows=4), rich)
         assert summary_satisfies(tiny_task(), rich)  # extra series is fine
+
+
+class TestHistogramEnvelope:
+    """Satellite: full distribution state rides the worker envelope."""
+
+    def test_fingerprint_ignores_collect_histograms(self):
+        # Like utilization_windows, histogram harvest is a projection of
+        # the same simulation — cache entries must be shared.
+        assert tiny_task(histograms=True).fingerprint() == \
+            tiny_task(histograms=False).fingerprint()
+
+    def test_collected_histograms_roundtrip_through_json(self):
+        summary, _ = _run_one(tiny_task(histograms=True))
+        assert summary.histograms is not None
+        assert len(summary.histograms) > 0
+        names = [h["name"] for h in summary.histograms]
+        assert names == sorted(names)
+        blob = json.dumps(summary.to_dict(), sort_keys=True)
+        back = RunSummary.from_dict(json.loads(blob))
+        assert back == summary
+        assert back.histograms == summary.histograms
+
+    def test_uncollected_histograms_stay_none(self):
+        summary, _ = _run_one(tiny_task())
+        assert summary.histograms is None
+        blob = json.dumps(summary.to_dict(), sort_keys=True)
+        # Serialized as an explicit null (distinct from collected-empty).
+        assert json.loads(blob)["histograms"] is None
+        assert RunSummary.from_dict(json.loads(blob)).histograms is None
+
+    def test_satisfies_requires_collected_histograms(self):
+        plain, _ = _run_one(tiny_task())
+        rich, _ = _run_one(tiny_task(histograms=True))
+        assert not summary_satisfies(tiny_task(histograms=True), plain)
+        assert summary_satisfies(tiny_task(histograms=True), rich)
+        assert summary_satisfies(tiny_task(), rich)  # extra states are fine
+
+    def test_merged_worker_states_equal_single_run(self):
+        # Two same-seed worker runs each ship full state; merging the
+        # per-name states is associative and reproduces either run's
+        # distribution exactly (integer bucket counts merge losslessly).
+        from repro.obs.metrics import Histogram, merge_histogram_states
+        s1, _ = _run_one(tiny_task(histograms=True))
+        s2, _ = _run_one(tiny_task(histograms=True))
+        assert s1.histograms == s2.histograms
+        for st1, st2 in zip(s1.histograms, s2.histograms):
+            merged = merge_histogram_states([st1, st2])
+            assert merged["count"] == 2 * st1["count"]
+            h = Histogram.from_state(merged)
+            if st1["count"]:
+                assert h.quantile(0.5) == \
+                    Histogram.from_state(st1).quantile(0.5)
+
+    def test_run_matrix_collects_histograms(self):
+        ctx = ExecContext(jobs=1, cache=SimCache(root=None))
+        out = run_matrix([tiny_task(histograms=True)], ctx)
+        assert out[0].histograms is not None
+
+    def test_dedup_alias_respects_histogram_need(self):
+        # A histogram-needing task must not alias to a plain duplicate's
+        # in-flight result within one matrix.
+        ctx = ExecContext(jobs=1, cache=SimCache(root=None))
+        out = run_matrix([tiny_task(), tiny_task(histograms=True)], ctx)
+        assert out[1].histograms is not None
+        # The reverse order may alias (a histogram-rich result satisfies
+        # the plain request).
+        ctx2 = ExecContext(jobs=1, cache=SimCache(root=None))
+        out2 = run_matrix([tiny_task(histograms=True), tiny_task()], ctx2)
+        assert out2[0].histograms is not None
 
 
 def _run_one(task):

@@ -8,6 +8,8 @@ API, and the fig20 table/cache plumbing.
 """
 
 import json
+import math
+import warnings
 
 import pytest
 
@@ -29,7 +31,7 @@ from repro.llm.serving import (
 )
 from repro.llm.tiling import TilingConfig
 from repro.llm.tp import validate_tp_partition
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import EmptyDistributionWarning, MetricsRegistry
 from repro.systems import make_system
 
 TINY = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
@@ -309,11 +311,19 @@ def test_histogram_quantile_walks_log2_buckets():
 def test_histogram_quantile_edge_cases():
     registry = MetricsRegistry()
     h = registry.histogram("q")
-    assert h.quantile(0.5) == 0.0          # empty
+    with pytest.warns(EmptyDistributionWarning, match="'q'"):
+        assert math.isnan(h.quantile(0.5))  # empty -> nan, not a raise
     with pytest.raises(ValueError):
         h.quantile(1.5)
     with pytest.raises(ValueError):
         h.quantile(-0.1)
+    # A single-bucket histogram answers every quantile without warning.
+    h.record(100.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert h.quantile(0.0) == 100.0
+        assert h.quantile(0.5) == 100.0
+        assert h.quantile(1.0) == 100.0
 
 
 # ---------------------------------------------------------------------------

@@ -62,19 +62,70 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list:
     return problems
 
 
+def check_engine(report: dict, min_speedup: float) -> list:
+    """Gate a ``BENCH_engine.json`` report (see ``bench_engine.py``).
+
+    Two invariants: every system's fast-path run reproduced the
+    reference observables exactly, and the headline speedup did not
+    collapse below ``min_speedup``.
+    """
+    problems = []
+    for system, row in sorted(report.get("systems", {}).items()):
+        if not row.get("exact"):
+            problems.append(
+                f"engine: {system} fast-path run diverged from the "
+                f"reference (equivalence contract broken)")
+        if row.get("speedup", 0.0) < 1.0 - 0.25:
+            problems.append(
+                f"engine: {system} fast-path is a slowdown "
+                f"({row.get('speedup', 0.0):.2f}x)")
+    headline = report.get("headline", 0.0)
+    if headline < min_speedup:
+        problems.append(
+            f"engine: headline speedup {headline:.2f}x below the "
+            f"{min_speedup:.1f}x floor")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", nargs="?", default="BENCH_experiments.json",
-                        help="fresh report from bench_experiments.py")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="fresh report from bench_experiments.py "
+                             "(default: BENCH_experiments.json; with "
+                             "--engine and no report named, only the "
+                             "engine gate runs)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="committed baseline (default: %(default)s)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed slowdown fraction "
                              "(default: %(default)s)")
+    parser.add_argument("--engine", metavar="PATH", default=None,
+                        help="also gate a BENCH_engine.json report "
+                             "(fast-path exactness + headline speedup)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="headline fast-path speedup floor for "
+                             "--engine (default: %(default)s)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the fresh report "
                              "instead of checking")
     args = parser.parse_args()
+
+    if args.engine:
+        engine_report = load(args.engine)
+        engine_problems = check_engine(engine_report, args.min_speedup)
+        print(f"engine: headline {engine_report.get('headline', 0.0):.2f}x, "
+              f"{engine_report.get('events_per_cpu_second', 0.0):,.0f} "
+              f"events/s reference")
+        if engine_problems:
+            print("\nREGRESSIONS:")
+            for p in engine_problems:
+                print(f"  - {p}")
+            return 1
+        if args.fresh is None:
+            print("bench regression gate: OK (engine only)")
+            return 0
+    if args.fresh is None:
+        args.fresh = "BENCH_experiments.json"
 
     fresh = load(args.fresh)
     if args.update:

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 
 from . import obs
+from .common import fastpath
 from .common.config import FaultSpec, dgx_h100_config
 from .experiments.runner import Scale, layer_graphs, sublayer_for
 from .llm.models import TABLE_I, by_name
@@ -82,6 +84,10 @@ def main(argv=None) -> int:
                         help="print the metrics snapshot as JSON")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the metrics snapshot to PATH")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="force the reference event path everywhere "
+                             "(disables every engine fast-path layer; "
+                             "see DESIGN.md §11)")
     parser.add_argument("--profile", action="store_true",
                         help="print a host-time hotspot profile of the "
                              "simulator's event loop")
@@ -96,6 +102,10 @@ def main(argv=None) -> int:
                         help="fault intensity in [0,1] "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
+
+    if args.no_fastpath:
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+        fastpath.disable_all()
 
     if args.list:
         print("systems:", ", ".join(sorted(SYSTEM_CLASSES)))

@@ -17,7 +17,6 @@ trigger downstream work as chunks land.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -28,8 +27,11 @@ from ..interconnect.message import Address, Message, Op, gpu_node
 from ..interconnect.network import Network
 from ..obs import current_causality
 from ..obs.causality import BARRIER_SYNC
+from ..common.ids import IdAllocator
 
-_run_ids = itertools.count(1)
+#: Run-id stream (staging addresses embed it); advanceable so the analytic
+#: bypass leaves it exactly where the event path would have.
+_run_ids = IdAllocator(1)
 
 #: Address-space region for collective staging buffers, disjoint from the
 #: activation tensors allocated by repro.llm.tiling (tensor ids count up
@@ -157,7 +159,7 @@ class NvlsCollective:
         shard_bytes = nbytes // self.k
         chunks = -(-shard_bytes // self.chunk_bytes)
         last = shard_bytes - (chunks - 1) * self.chunk_bytes
-        run_id = next(_run_ids)
+        run_id = _run_ids()
         run = _Run(kind=kind, chunk_bytes=self.chunk_bytes,
                    last_chunk_bytes=last, chunks=chunks, remaining=0,
                    on_complete=on_complete, on_chunk=on_chunk)

@@ -19,7 +19,6 @@ trigger downstream work as chunks land.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -32,8 +31,11 @@ from ..interconnect.message import (CORRUPTED_META, Message, Op, gpu_node,
 from ..interconnect.network import Network
 from ..obs import current_causality
 from ..obs.causality import BARRIER_SYNC
+from ..common.ids import IdAllocator
 
-_run_ids = itertools.count(1)
+#: Run-id stream (staging addresses embed it); advanceable so the analytic
+#: bypass leaves it exactly where the event path would have.
+_run_ids = IdAllocator(1)
 
 #: Ack-timeout stretch for ring hops: a chunk and its ack each cross two
 #: links (GPU -> switch -> GPU) carrying ~256 KiB payloads through queues
@@ -147,7 +149,7 @@ class RingCollective:
                    last_chunk_bytes=last, chunks=chunks, remaining=0,
                    on_complete=on_complete, on_chunk=on_chunk,
                    local_values=local_values)
-        run_id = next(_run_ids)
+        run_id = _run_ids()
         self._runs[run_id] = run
         return run_id, run
 

@@ -1,0 +1,31 @@
+"""Readable, advanceable id allocators.
+
+``itertools.count`` hands out ids fast but its next value cannot be read
+or bulk-advanced.  The analytic collective bypass (DESIGN.md §11) replays
+a calibrated phase without simulating it, and must leave every id stream
+exactly where the event path would have left it — message ids feed the
+plane-striping hash, collective run ids feed staging-address construction
+— so the streams it touches use this allocator instead.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Monotonic id source: call it for the next id; ``value`` is the next
+    id to be handed out; ``advance(n)`` skips ``n`` ids."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __call__(self) -> int:
+        v = self.value
+        self.value = v + 1
+        return v
+
+    def advance(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"cannot advance id allocator by {n}")
+        self.value += n

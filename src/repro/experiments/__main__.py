@@ -43,6 +43,7 @@ from . import (
     table2_scaling_validation,
 )
 from .. import obs
+from ..common import fastpath
 from ..common.config import FaultSpec
 from ..hw.area import overhead_report
 from .cache import SimCache
@@ -159,6 +160,10 @@ def main(argv=None) -> int:
                         metavar="DIR",
                         help="simulation-reuse cache location "
                              "(default: %(default)s)")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="force the reference event path everywhere "
+                             "(disables every engine fast-path layer; the "
+                             "byte-identity baseline, see DESIGN.md §11)")
     parser.add_argument("--metrics", action="store_true",
                         help="print the metrics snapshot (cache hits/"
                              "misses, task wall times) after the tables")
@@ -181,6 +186,12 @@ def main(argv=None) -> int:
     if args.report and args.experiment not in ("fig19", "fig20_serving"):
         parser.error("--report is only meaningful for fig19 and "
                      "fig20_serving")
+
+    if args.no_fastpath:
+        # The env var (not just set_config) so that pool workers spawned
+        # by run_matrix inherit the choice regardless of start method.
+        os.environ["REPRO_NO_FASTPATH"] = "1"
+        fastpath.disable_all()
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:

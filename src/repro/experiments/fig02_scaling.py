@@ -39,7 +39,9 @@ def compute_time_ns(model, tp: int, scale: Scale) -> float:
         if index == len(ops):
             return
         kernel = compute_kernel(ops[index], cfg.gpu, scale.tiling)
-        ex.launch_kernel(kernel, on_complete=lambda: launch(index + 1))
+        # Strictly sequential chain: each launch happens alone in its frame.
+        ex.launch_kernel(kernel, on_complete=lambda: launch(index + 1),
+                         isolated=True)
 
     launch(0)
     return ex.run()

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..common import fastpath
 from ..common.config import FaultSpec, SystemConfig
 from ..common.errors import WorkloadError
 from ..llm.graph import Graph
@@ -98,7 +99,7 @@ class SimTask:
     def payload(self) -> Dict[str, object]:
         """Canonical fingerprint payload: everything that can change the
         simulation outcome, nothing that cannot."""
-        return {
+        out = {
             "schema": CACHE_SCHEMA,
             "system": self.system,
             "kwargs": [[k, v] for k, v in sorted(self.kwargs)],
@@ -108,6 +109,15 @@ class SimTask:
             "ablation": self.ablation,
             "serving": self.serving,
         }
+        # Engine fast-path layers change summary fields (event counts,
+        # fastpath.* details) even when the physics is identical, so runs
+        # under different layer sets must not share cache entries.  The
+        # token is omitted entirely when every layer is off so that
+        # ``--no-fastpath`` reuses pre-fast-path cache entries unchanged.
+        fp = fastpath.config()
+        if fp.any_enabled:
+            out["fastpath"] = fp.cache_token()
+        return out
 
     def fingerprint(self) -> str:
         return fingerprint(self.payload())

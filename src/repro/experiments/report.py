@@ -179,6 +179,20 @@ def build_report(serving, *, slo_ttft_ms: float = DEFAULT_SLO_TTFT_MS,
         },
     }
 
+    # Engine health: event count, host-side throughput (wall-clock, so
+    # volatile — excluded from `repro diff`'s tracked keys), and the
+    # fast-path layer counters (deterministic, from run details).
+    eps = None
+    if run.network is not None and hasattr(run.network, "sim"):
+        eps = run.network.sim.events_per_wall_second()
+    report["engine"] = {
+        "events": run.events,
+        "events_per_wall_second": eps,
+        "fastpath": {k[len("fastpath."):]: v
+                     for k, v in run.details.items()
+                     if k.startswith("fastpath.")},
+    }
+
     ts = run.timeseries
     if ts is not None:
         snapshot = ts.snapshot(makespan)
@@ -282,7 +296,17 @@ def validate_report(report: Dict) -> None:
 # ---------------------------------------------------------------------------
 
 def report_to_json(report: Dict) -> str:
-    """Canonical byte-stable serialization (sorted keys, no whitespace)."""
+    """Canonical byte-stable serialization (sorted keys, no whitespace).
+
+    Host-wall-clock quantities are volatile (they change run to run even
+    when the simulation is byte-identical), so — like volatile gauges in
+    ``MetricsRegistry.snapshot`` — they are stripped from the serialized
+    form and live only in the terminal rendering.
+    """
+    if "engine" in report:
+        engine = dict(report["engine"])
+        engine.pop("events_per_wall_second", None)
+        report = dict(report, engine=engine)
     return json.dumps(report, sort_keys=True, separators=(",", ":"))
 
 
@@ -327,6 +351,16 @@ def format_report(report: Dict, max_window_rows: int = 40) -> str:
             f"TPOT {slo['tpot_attainment']:.1%}, joint "
             f"{slo['attainment']:.1%}, goodput "
             f"{slo['goodput_tokens_per_s']:,.0f} tokens/s"]
+    engine = report.get("engine") or {}
+    if engine:
+        line = f"engine: {engine['events']:,} events"
+        eps = engine.get("events_per_wall_second")
+        if eps:
+            line += f" ({eps:,.0f}/s host)"
+        fp = engine.get("fastpath") or {}
+        if fp.get("events_elided"):
+            line += f", fast-path elided {int(fp['events_elided']):,}"
+        head.append(line)
     tails = markdown_table(
         ["metric (ms)"] + list(_TAIL_KEYS),
         [[name] + [_ms(summary[key][t]) for t in _TAIL_KEYS]

@@ -27,6 +27,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import heapq
 
+from ..common import fastpath
 from ..common.config import SystemConfig
 from ..common.errors import DeadlockError
 from ..common.events import Simulator
@@ -119,6 +120,19 @@ class Executor:
         # comes from a process-global counter, which would leak earlier
         # runs into the trace and break same-seed byte-identity.
         self._next_kernel_aid = 0
+        # Engine fast-path (DESIGN.md §11): isolated pure-compute kernel
+        # launches are evaluated arithmetically instead of event-by-event.
+        # Observability sinks need the per-event lifecycle, so any of them
+        # being live forces the reference path.
+        self._fp_kernels = (fastpath.config().analytic_kernels
+                            and fault_state is None
+                            and not self._tr.enabled
+                            and not self._mx.enabled
+                            and not self._cz.enabled)
+        self._fp_inflight = 0
+        self.fastpath_kernels = 0
+        self.fastpath_kernel_events_elided = 0
+        self.fastpath_kernel_conflicts = 0
 
     # ------------------------------------------------------------------
     # Observability helpers
@@ -185,9 +199,28 @@ class Executor:
     # ------------------------------------------------------------------
     def launch_kernel(self, kernel: KernelInstance,
                       on_complete: Optional[Callable[[], None]] = None,
-                      ) -> None:
+                      isolated: bool = False) -> None:
         """Launch ``kernel`` on every GPU; ``on_complete`` fires when the
-        last TB on the last GPU finishes."""
+        last TB on the last GPU finishes.
+
+        ``isolated=True`` is a caller guarantee that nothing else starts in
+        the current event frame after this launch (no sibling kernels, no
+        collectives).  Together with an empty event queue it makes the
+        launch window provably free of concurrent activity, which is what
+        lets the kernel fast-path (DESIGN.md §11) replay the slot pipeline
+        arithmetically.  Callers that overlap kernels with other work must
+        leave it False — the default costs only speed, never correctness.
+        """
+        if self._fp_kernels:
+            if self._fp_inflight:
+                # A fast-path window assumed exclusive use of the RNG
+                # streams and SM slots until its completion event fires; a
+                # launch inside the window breaks that assumption, so it is
+                # counted loudly (the equivalence tests pin this at zero).
+                self.fastpath_kernel_conflicts += 1
+            elif isolated and self._kernel_fastpath_eligible(kernel):
+                self._launch_kernel_fastpath(kernel, on_complete)
+                return
         total = kernel.num_blocks() * len(self.gpus)
         self._kernel_remaining[kernel.kernel_id] = total
         if self.timeline is not None:
@@ -214,6 +247,212 @@ class Executor:
                 if self._jitter_enabled else 0.0)
             self.sim.schedule(kernel.launch_overhead_ns + skew,
                               self._enqueue_on_gpu, kernel, gpu)
+
+    # ------------------------------------------------------------------
+    # Kernel fast-path (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _kernel_fastpath_eligible(self, kernel: KernelInstance) -> bool:
+        """Can this launch be evaluated arithmetically, bit-exactly?
+
+        Two families of conditions:
+
+        * *Kernel shape* — every TB must be pure compute with no external
+          coupling: no remote loads/reduces, no inter-TB dependency tokens,
+          no per-TB completion callbacks, no TB-group sync phases.
+        * *Isolation* — the event queue must be empty and every GPU idle
+          and fault-free.  With nothing queued, no event can fire before
+          the kernel's completion event, so nothing can contend for SM
+          slots or interleave RNG draws mid-window: the specialized replay
+          below is then *provably* the same computation the event path
+          would perform, not an approximation of it.
+        """
+        if (kernel.remote_loads is not None
+                or kernel.remote_reduces is not None
+                or kernel.tb_deps is not None
+                or kernel.on_tb_complete is not None
+                or kernel.sync_prelaunch or kernel.sync_preaccess
+                or kernel.num_blocks() == 0):
+            return False
+        if self.sim.pending() != 0 or self._fp_inflight:
+            return False
+        if any(self._kernel_remaining.values()):
+            return False
+        for gpu in self.gpus:
+            if gpu.compute_slowdown != 1.0 or gpu._throttle_fraction != 1.0:
+                return False
+            if kernel.pool not in gpu._capacity:
+                return False
+            if any(gpu._used.values()) or any(gpu._ready.values()) \
+                    or any(gpu._synced.values()):
+                return False
+            if not isinstance(gpu.policy, (FifoPolicy, ShuffledPolicy,
+                                           FairSharePolicy)):
+                return False
+        return True
+
+    def _launch_kernel_fastpath(self, kernel: KernelInstance,
+                                on_complete: Optional[Callable[[], None]],
+                                ) -> None:
+        """Replay the SM slot pipeline arithmetically — bit-exactly.
+
+        The event path fires four events per thread block (enqueue fill,
+        pre done, post done) through the full dispatch machinery.  For an
+        isolated pure-compute kernel every TB is interchangeable, so the
+        ready queue reduces to a counter and the whole pipeline collapses
+        to a tiny three-state heap replay that performs *the same float
+        operations in the same order* as the event path:
+
+        * RNG draws are replicated stream-for-stream: skews in GPU order,
+          per-GPU jitter as a batched draw (bit-identical to the scalar
+          sequence, verified by test), dispatch-shuffle picks drawn only
+          when the window sees >1 candidate — exactly the event path's
+          condition.  Which TB a pick selects is timing-irrelevant (all
+          TBs identical); only the draw itself must advance the stream.
+        * ``total_compute_ns`` accumulates in global event order via the
+          merged heap; per-GPU busy integrals accrue at each completion
+          with the event path's exact ``occupied * dt`` terms.
+
+        One real event is scheduled at the computed end time to apply the
+        state deltas and fire the kernel-completion callbacks.
+        """
+        sim = self.sim
+        now = sim.now
+        num_gpus = len(self.gpus)
+        blocks = kernel.num_blocks()
+        total = blocks * num_gpus
+        self._kernel_remaining[kernel.kernel_id] = total
+        if self.timeline is not None:
+            handle = self.timeline.begin(kernel.name, now)
+            self._kernel_done_cbs.setdefault(kernel.kernel_id, []).append(
+                lambda h=handle: self.timeline.end(h, self.sim.now))
+        if on_complete is not None:
+            self._kernel_done_cbs.setdefault(
+                kernel.kernel_id, []).append(on_complete)
+        mag = self.config.jitter.tb_jitter
+        jitter_on = self._jitter_enabled and mag != 0.0
+        pre_ns = kernel.tb_pre_ns
+        post_ns = kernel.tb_post_ns
+        overhead = kernel.launch_overhead_ns
+        skew_stream = self.rng.stream("gpu-skew")
+        # Exactly 2 jitter draws per TB (pre + post, drawn even when
+        # tb_post_ns == 0), consumed in per-GPU event order below.  A
+        # batched draw is bit-identical to the scalar sequence and leaves
+        # the stream in the same state; tolist() keeps the values exact.
+        jit = ([self.rng.stream(f"tb-jitter-{g}").uniform(
+                    -mag, mag, 2 * blocks).tolist()
+                for g in range(num_gpus)] if jitter_on else None)
+        jidx = [0] * num_gpus
+        cap = []
+        for g, gpu in enumerate(self.gpus):
+            cap.append(gpu._capacity[kernel.pool])
+            window = (1 if isinstance(gpu.policy, FifoPolicy)
+                      else gpu.policy.window)
+            # Dispatch-pick draws advance the per-GPU shuffle stream but
+            # never affect timing (all TBs are identical), and their bound
+            # sequence is deterministic: the initial fill dispatches with a
+            # queue of one (no draw — the event path's bound > 1 gate),
+            # then each slot refill sees min(window, ready) candidates with
+            # ready counting down from ``blocks - fill`` to 1.  Replicate
+            # the whole sequence up front: one batch for the constant
+            # ``window`` prefix, scalars for the shrinking tail.
+            r0 = blocks - min(blocks, cap[g])
+            if window > 1 and r0 >= 2:
+                rng = gpu.policy.rng
+                if r0 >= window:
+                    rng.integers(0, window, size=r0 - window + 1)
+                    tail_start = window - 1
+                else:
+                    tail_start = r0
+                for bound in range(tail_start, 1, -1):
+                    rng.integers(0, bound)
+        used = [0] * num_gpus
+        ready = [0] * num_gpus
+        integral = [gpu._busy_integral_ns for gpu in self.gpus]
+        since = [gpu._busy_since for gpu in self.gpus]
+        dispatched = [0] * num_gpus
+        total_compute = self.total_compute_ns
+        ENQ, AFTER_PRE, DONE = 0, 1, 2
+        heap: List[tuple] = []
+        seq = 0
+        for g in range(num_gpus):
+            skew = (float(skew_stream.uniform(
+                0.0, self.config.jitter.gpu_skew_ns))
+                if self._jitter_enabled else 0.0)
+            heap.append((now + (overhead + skew), seq, ENQ, g))
+            seq += 1
+        heapq.heapify(heap)
+        push, pop = heapq.heappush, heapq.heappop
+        t_end = now
+        while heap:
+            t, _, kind, g = pop(heap)
+            if kind == AFTER_PRE:
+                if jitter_on:
+                    j = 1.0 + float(jit[g][jidx[g]])
+                    jidx[g] += 1
+                else:
+                    j = 1.0
+                dur = post_ns * j
+                total_compute += dur
+                push(heap, (t + dur, seq, DONE, g))
+                seq += 1
+            elif kind == DONE:
+                integral[g] += used[g] * (t - since[g])
+                since[g] = t
+                used[g] -= 1
+                if t > t_end:
+                    t_end = t
+                if ready[g] > 0:
+                    # Refill the freed slot (pick draw already replicated
+                    # above); the second busy accrual the event path
+                    # performs here is a zero-delta no-op.
+                    ready[g] -= 1
+                    used[g] += 1
+                    dispatched[g] += 1
+                    if jitter_on:
+                        j = 1.0 + float(jit[g][jidx[g]])
+                        jidx[g] += 1
+                    else:
+                        j = 1.0
+                    dur = pre_ns * j
+                    total_compute += dur
+                    push(heap, (t + dur, seq, AFTER_PRE, g))
+                    seq += 1
+            else:                       # ENQ: initial fill, no pick draws
+                fill = blocks if blocks < cap[g] else cap[g]
+                ready[g] = blocks - fill
+                intg, snc = integral[g], since[g]
+                for u in range(fill):
+                    intg += u * (t - snc)
+                    snc = t
+                    if jitter_on:
+                        j = 1.0 + float(jit[g][jidx[g]])
+                        jidx[g] += 1
+                    else:
+                        j = 1.0
+                    dur = pre_ns * j
+                    total_compute += dur
+                    push(heap, (t + dur, seq, AFTER_PRE, g))
+                    seq += 1
+                used[g] = fill
+                dispatched[g] = fill
+                integral[g], since[g] = intg, snc
+        self._fp_inflight += 1
+        self.fastpath_kernels += 1
+        self.fastpath_kernel_events_elided += num_gpus + 2 * total - 1
+
+        def finish() -> None:
+            self._fp_inflight -= 1
+            for g, gpu in enumerate(self.gpus):
+                gpu._busy_integral_ns = integral[g]
+                gpu._busy_since = since[g]
+                gpu.tbs_dispatched += dispatched[g]
+            self.total_compute_ns = total_compute
+            self.tbs_completed += total
+            self._kernel_remaining[kernel.kernel_id] = 0
+            for cb in self._kernel_done_cbs.pop(kernel.kernel_id, []):
+                cb()
+
+        sim.schedule_at(t_end, finish)
 
     def _enqueue_on_gpu(self, kernel: KernelInstance, gpu: Gpu) -> None:
         order = (kernel.block_order if kernel.block_order is not None

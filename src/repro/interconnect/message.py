@@ -19,9 +19,9 @@ Operation kinds cover the three protocol families in the paper:
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
+from ..common.ids import IdAllocator
 
 NodeId = Tuple[str, int]                 # ("gpu", 3) or ("sw", 0)
 
@@ -100,7 +100,10 @@ class Address:
             raise ValueError(f"invalid address {self}")
 
 
-_msg_ids = itertools.count()
+#: Message-id stream (plane striping hashes on it); an IdAllocator so the
+#: analytic collective bypass can advance it exactly as the event path
+#: would have (see repro.collectives.analytic).
+_msg_ids = IdAllocator()
 
 
 @dataclass
@@ -120,7 +123,7 @@ class Message:
     payload: Any = None
     group_id: Optional[int] = None       # TB group / multicast group
     meta: Dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = field(default_factory=_msg_ids)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

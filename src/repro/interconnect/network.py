@@ -21,9 +21,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..common import fastpath
 from ..common.config import SystemConfig
 from ..common.errors import RoutingError, SimulationError
 from ..common.events import Simulator
+from ..obs import current_causality, current_tracer
 from .link import Link
 from .message import Address, Message
 from .routing import plane_for_address, plane_for_stripe
@@ -31,13 +33,26 @@ from .switch import Switch
 
 
 class Network:
-    """All links and switches of one multi-GPU node."""
+    """All links and switches of one multi-GPU node.
+
+    ``allow_fastpath`` opts the fabric into the batched-link-window layer
+    (:mod:`repro.common.fastpath`): harnesses pass False when fault
+    injection is configured, since committed serialization windows cannot
+    be unwound by a mid-window fault.  The layer additionally stands down
+    by itself when tracing or causal recording is active (their outputs
+    depend on event interleaving) or when the global config disables it.
+    """
 
     def __init__(self, sim: Simulator, config: SystemConfig,
-                 traffic_control: bool = False):
+                 traffic_control: bool = False,
+                 allow_fastpath: bool = True):
         self.sim = sim
         self.config = config
         self.traffic_control = traffic_control
+        self.fastpath_windows = (
+            allow_fastpath and fastpath.config().link_windows
+            and not current_tracer().enabled
+            and not current_causality().enabled)
         self.switches: List[Switch] = [
             Switch(sim, config.switch, s, config.num_gpus)
             for s in range(config.num_switches)
@@ -52,17 +67,25 @@ class Network:
         # switch -> GPU.
         self.up_links: Dict[Tuple[int, int], Link] = {}
         self.down_links: Dict[Tuple[int, int], Link] = {}
+        fp = self.fastpath_windows
         for g in range(config.num_gpus):
             for s in range(config.num_switches):
                 up = Link(sim, config.link, f"gpu{g}->sw{s}",
-                          traffic_control=traffic_control)
+                          traffic_control=traffic_control,
+                          fastpath_windows=fp)
                 # Bind loop variables explicitly; a bare lambda would close
                 # over the loop cell and mis-deliver every message.
                 up.deliver = self._make_switch_delivery(s, g)
+                if fp:
+                    # Fuse the wire delivery with the switch's fixed hop:
+                    # one event carries the message straight to dispatch.
+                    up._fused_hop = (self.switches[s]._dispatch, g,
+                                     config.switch.hop_latency_ns)
                 self.up_links[(g, s)] = up
 
                 down = Link(sim, config.link, f"sw{s}->gpu{g}",
-                            traffic_control=traffic_control)
+                            traffic_control=traffic_control,
+                            fastpath_windows=fp)
                 down.deliver = self._make_gpu_delivery(g)
                 self.down_links[(g, s)] = down
                 self.switches[s].down_links[g] = down
@@ -157,6 +180,28 @@ class Network:
         plane = self.plane_for(msg, stripe)
         self.up_links[(gpu_index, plane)].send(msg)
         return plane
+
+    # ------------------------------------------------------------------
+    # Quiescence
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """No message queued, serializing, on a wire, in a switch hop, or
+        held by an open in-switch engine session.
+
+        The analytic collective bypass (DESIGN.md §11) requires this
+        before it may replay a calibrated phase: any concurrent traffic
+        would contend for link bandwidth and invalidate the closed form.
+        """
+        for link in self.up_links.values():
+            if not link.idle():
+                return False
+        for link in self.down_links.values():
+            if not link.idle():
+                return False
+        for switch in self.switches:
+            if switch.inflight_hops or not switch.engines_idle():
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Metrics helpers

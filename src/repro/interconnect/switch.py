@@ -67,6 +67,10 @@ class Switch:
         #: new traffic (in-flight messages still drain through it).
         self.failed = False
         self.messages_handled = 0
+        #: Messages inside the hop-latency pipeline (received, dispatch
+        #: pending) — network-quiescence bookkeeping.  Fused link
+        #: deliveries bypass :meth:`receive` and are tracked by the link.
+        self.inflight_hops = 0
         self.ops_seen: Counter = Counter()
         self._tr = current_tracer()
         self._mx = current_metrics()
@@ -89,8 +93,21 @@ class Switch:
     # ------------------------------------------------------------------
     def receive(self, msg: Message, in_port: int) -> None:
         """Entry point for messages arriving from GPU ``in_port``."""
-        self.sim.schedule(self.spec.hop_latency_ns, self._dispatch,
+        self.inflight_hops += 1
+        self.sim.schedule(self.spec.hop_latency_ns, self._dispatch_from_wire,
                           msg, in_port)
+
+    def _dispatch_from_wire(self, msg: Message, in_port: int) -> None:
+        self.inflight_hops -= 1
+        self._dispatch(msg, in_port)
+
+    def engines_idle(self) -> bool:
+        """True when no attached engine has an open session."""
+        for engine in self.engines:
+            count_fn = getattr(engine, "open_sessions", None)
+            if count_fn is not None and count_fn():
+                return False
+        return True
 
     def _dispatch(self, msg: Message, in_port: int) -> None:
         self.messages_handled += 1

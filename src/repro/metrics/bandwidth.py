@@ -44,6 +44,46 @@ class BandwidthTracker:
             self._intervals.append((start, end))
 
     # ------------------------------------------------------------------
+    # Delta capture / replay (analytic collective bypass, DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def mark(self) -> Tuple[int, float, int, int]:
+        """Opaque watermark for :meth:`delta_since`."""
+        last_end = self._intervals[-1][1] if self._intervals else 0.0
+        return (len(self._intervals), last_end,
+                self.bytes_transferred, self.messages)
+
+    def delta_since(self, mark: Tuple[int, float, int, int],
+                    t0: float) -> Tuple[List[Tuple[float, float]], int, int]:
+        """What :meth:`record` added since ``mark``, relative to ``t0``.
+
+        Returns ``(intervals, nbytes, messages)`` with interval endpoints
+        shifted by ``-t0``.  A merge that extended the pre-mark tail
+        interval is captured as its extension piece, so replaying the
+        delta reproduces the post-mark busy time exactly.
+        """
+        n, last_end, prev_bytes, prev_msgs = mark
+        rel: List[Tuple[float, float]] = []
+        if n and self._intervals[n - 1][1] > last_end:
+            rel.append((last_end - t0, self._intervals[n - 1][1] - t0))
+        rel.extend((s - t0, e - t0) for s, e in self._intervals[n:])
+        return (rel, self.bytes_transferred - prev_bytes,
+                self.messages - prev_msgs)
+
+    def replay(self, delta: Tuple[List[Tuple[float, float]], int, int],
+               t0: float) -> None:
+        """Apply a captured delta as if the traffic had run again at ``t0``.
+
+        Busy intervals land at ``t0 + relative`` (merging with existing
+        tail intervals as :meth:`record` would); byte and message counts
+        are added wholesale rather than per message.
+        """
+        rel, nbytes, messages = delta
+        for s, e in rel:
+            self.record(t0 + s, t0 + e, 0)
+        self.bytes_transferred += nbytes
+        self.messages += messages - len(rel)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property

@@ -20,6 +20,18 @@ def format_run_report(result, gantt: bool = True, width: int = 48) -> str:
         f"{result.average_bandwidth_utilization():.1%}",
         f"GPU SM-slot utilization: {result.gpu_utilization:.1%}",
     ]
+    fp = {k[len("fastpath."):]: v for k, v in result.details.items()
+          if k.startswith("fastpath.")}
+    if fp:
+        elided = fp.get("events_elided", 0.0)
+        parts = [f"{int(elided):,} events elided"]
+        if fp.get("link_windows"):
+            parts.append(f"{int(fp['link_windows']):,} link windows")
+        if fp.get("analytic_ops"):
+            parts.append(f"{int(fp['analytic_ops']):,} analytic collectives")
+        if fp.get("kernel_launches"):
+            parts.append(f"{int(fp['kernel_launches']):,} analytic kernels")
+        lines.append("engine fast-path: " + ", ".join(parts))
     if result.merge_stats is not None:
         m = result.merge_stats.summary()
         lines.append(

@@ -192,7 +192,7 @@ class NullMetrics:
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(self, name: str, volatile: bool = False) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str) -> _NullInstrument:
@@ -214,6 +214,10 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Names of wall-clock-dependent gauges (e.g. engine throughput in
+        # events per *wall* second): queryable live, but excluded from
+        # snapshots so same-seed runs stay byte-identical.
+        self._volatile: set = set()
 
     def counter(self, name: str) -> Counter:
         inst = self._counters.get(name)
@@ -221,10 +225,12 @@ class MetricsRegistry:
             inst = self._counters[name] = Counter(name)
         return inst
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, volatile: bool = False) -> Gauge:
         inst = self._gauges.get(name)
         if inst is None:
             inst = self._gauges[name] = Gauge(name)
+        if volatile:
+            self._volatile.add(name)
         return inst
 
     def histogram(self, name: str) -> Histogram:
@@ -244,12 +250,17 @@ class MetricsRegistry:
                 for n in sorted(self._histograms)]
 
     def snapshot(self) -> Dict[str, dict]:
-        """JSON-serializable state of every instrument, keys sorted."""
+        """JSON-serializable state of every instrument, keys sorted.
+
+        Volatile (wall-clock-dependent) gauges are omitted: snapshots are
+        part of the byte-identity contract between same-seed runs.
+        """
         return {
             "counters": {n: self._counters[n].value
                          for n in sorted(self._counters)},
             "gauges": {n: {"value": g.value, "peak": g.peak}
-                       for n, g in sorted(self._gauges.items())},
+                       for n, g in sorted(self._gauges.items())
+                       if n not in self._volatile},
             "histograms": {n: h.summary()
                            for n, h in sorted(self._histograms.items())},
         }

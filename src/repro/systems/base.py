@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Protocol
 
 from ..cais.coordination import GroupSyncTable
 from ..cais.merge_unit import MergeUnit
+from ..collectives.analytic import maybe_fastpath
 from ..collectives.nvls_collectives import NvlsCollective
 from ..collectives.ring import RingCollective
 from ..common.config import SystemConfig
@@ -97,8 +98,22 @@ class Harness:
                  local_value_fn=None):
         self.config = config
         self.sim = Simulator()
+        # Fast-path opt-in (DESIGN.md §11): fault injection rules out both
+        # batched link windows (a mid-window fault could not unwind a
+        # committed serialization) and the analytic collective bypass.
         self.network = Network(self.sim, config,
-                               traffic_control=traffic_control)
+                               traffic_control=traffic_control,
+                               allow_fastpath=not config.faults.enabled)
+        #: Functional payloads force the event path: the analytic bypass
+        #: replays timing and counters, not data values.
+        self.local_values = local_value_fn is not None
+        #: Collectives currently observed or replayed by the analytic
+        #: fast-path; its eligibility gate requires this to be zero.
+        self.fastpath_inflight = 0
+        self.fastpath_comms: List[object] = []
+        #: Per-node signature table for the analytic fast-path — scoped
+        #: here so runs stay deterministic regardless of process history.
+        self.fastpath_signatures: Dict[tuple, object] = {}
         # Fault injection (repro.faults): the state object is threaded
         # through every resilience-aware component; None keeps the
         # fault-free construction path untouched.
@@ -181,6 +196,46 @@ class Harness:
             slots = max(1, int(gpu.total_slots * fraction))
             gpu.set_pools({"default": slots})
 
+    def _fastpath_details(self) -> Dict[str, float]:
+        """Fast-path activity for this run's details/report (DESIGN.md §11).
+
+        Keys are emitted only when the corresponding layer actually did
+        something, so disabled runs produce byte-identical outputs to a
+        build that predates the fast-path entirely.
+        """
+        out: Dict[str, float] = {}
+        windows = messages = elided = 0
+        for link in self.network.all_links():
+            windows += link.fastpath_windows_opened
+            messages += link.fastpath_messages
+            elided += link.fastpath_events_elided
+        if messages:
+            out["fastpath.link_windows"] = float(windows)
+            out["fastpath.link_messages"] = float(messages)
+        analytic = sum(c.analytic_ops for c in self.fastpath_comms)
+        calibrations = sum(c.calibrations for c in self.fastpath_comms)
+        blacklists = sum(c.blacklists for c in self.fastpath_comms)
+        disagreements = sum(c.analytic_disagreements
+                            for c in self.fastpath_comms)
+        elided += sum(c.events_elided for c in self.fastpath_comms)
+        ex = self.executor
+        if ex.fastpath_kernels:
+            out["fastpath.kernel_launches"] = float(ex.fastpath_kernels)
+            elided += ex.fastpath_kernel_events_elided
+        if ex.fastpath_kernel_conflicts:
+            out["fastpath.kernel_conflicts"] = float(
+                ex.fastpath_kernel_conflicts)
+        if analytic or calibrations:
+            out["fastpath.analytic_ops"] = float(analytic)
+            out["fastpath.calibrations"] = float(calibrations)
+        if blacklists:
+            out["fastpath.blacklists"] = float(blacklists)
+        if disagreements:
+            out["fastpath.analytic_disagreements"] = float(disagreements)
+        if elided:
+            out["fastpath.events_elided"] = float(elided)
+        return out
+
     def result(self, system: str, **details: float) -> RunResult:
         makespan = self.sim.now
         gpu_util = (sum(g.utilization(makespan)
@@ -200,6 +255,8 @@ class Harness:
             merged = self.fault_state.counters.as_details()
             merged.update(details)
             details = merged
+        for key, value in self._fastpath_details().items():
+            details.setdefault(key, value)
         critical_path: Optional[CriticalPath] = None
         cz = current_causality()
         if cz.enabled and len(cz):
@@ -245,7 +302,11 @@ class CommImpl(Protocol):
 class RingComm:
     """Ring transport adapter (CoCoNet / FuseLib / T3 / LADM baselines)."""
 
+    #: Analytic fast-path signature tag (repro.collectives.analytic).
+    fastpath_transport = "ring"
+
     def __init__(self, harness: Harness, chunk_bytes: int = 262144):
+        self.chunk_bytes = chunk_bytes
         self.driver = RingCollective(harness.network, harness.executor.gpus,
                                      chunk_bytes=chunk_bytes,
                                      fault_state=harness.fault_state)
@@ -270,6 +331,9 @@ class NvlsComm:
     subsequent collectives go straight to the ring.  Every fallback is
     counted in the run's fault counters.
     """
+
+    #: Analytic fast-path signature tag (repro.collectives.analytic).
+    fastpath_transport = "nvls"
 
     def __init__(self, harness: Harness, chunk_bytes: int = 262144):
         self.harness = harness
@@ -348,7 +412,7 @@ class BarrierRunner:
                  tiling: Optional[TilingConfig] = None,
                  launch_overhead_ns: Optional[float] = None):
         self.harness = harness
-        self.comm = comm
+        self.comm = maybe_fastpath(harness, comm)
         self.tiling = tiling or TilingConfig()
         self.launch_overhead_ns = (
             harness.config.gpu.kernel_launch_overhead_ns
@@ -361,6 +425,10 @@ class BarrierRunner:
         done: Dict[str, bool] = {op.name: False for op in graph.ops()}
         waiting: Dict[str, int] = {}
         pending = {"count": len(done)}
+        # Depth of start() frames on the stack: a collective completing
+        # synchronously re-enters finish() below an unfinished start loop,
+        # in which case a nested launch is NOT the frame's only activity.
+        starting = {"depth": 0}
         cz = self._cz
 
         def finish(name: str) -> None:
@@ -377,28 +445,42 @@ class BarrierRunner:
             if pending["count"] == 0 and on_done is not None:
                 on_done()
                 return
+            ready = []
             for consumer in graph.consumers_of(name):
                 waiting[consumer.name] -= 1
                 if waiting[consumer.name] == 0:
-                    start(consumer)
+                    ready.append(consumer)
+            # A lone successor is the only thing this frame starts, which
+            # is what lets the executor's kernel fast-path engage; parallel
+            # branches (e.g. dgrad + wgrad) do run concurrently and must
+            # take the event path.
+            solo = len(ready) == 1 and starting["depth"] == 0
+            for consumer in ready:
+                start(consumer, solo)
 
-        def start(op: LogicalOp) -> None:
-            if op.kind is OpKind.COMM:
-                self.comm.run(op.comm, op.comm_bytes,
-                              lambda name=op.name: finish(name))
-            else:
-                kernel = compute_kernel(
-                    op, self.harness.config.gpu, self.tiling,
-                    launch_overhead_ns=self.launch_overhead_ns)
-                self.harness.executor.launch_kernel(
-                    kernel, on_complete=lambda name=op.name: finish(name))
+        def start(op: LogicalOp, solo: bool = False) -> None:
+            starting["depth"] += 1
+            try:
+                if op.kind is OpKind.COMM:
+                    self.comm.run(op.comm, op.comm_bytes,
+                                  lambda name=op.name: finish(name))
+                else:
+                    kernel = compute_kernel(
+                        op, self.harness.config.gpu, self.tiling,
+                        launch_overhead_ns=self.launch_overhead_ns)
+                    self.harness.executor.launch_kernel(
+                        kernel,
+                        on_complete=lambda name=op.name: finish(name),
+                        isolated=solo)
+            finally:
+                starting["depth"] -= 1
 
         order = graph.topo_order()
         for op in order:
             waiting[op.name] = len(op.deps)
-        for op in order:
-            if waiting[op.name] == 0:
-                start(op)
+        roots = [op for op in order if waiting[op.name] == 0]
+        for op in roots:
+            start(op, solo=len(roots) == 1)
 
     def run_graphs(self, graphs: List[Graph],
                    on_done: Optional[Callable[[], None]] = None) -> None:

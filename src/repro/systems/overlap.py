@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
+from ..collectives.analytic import maybe_fastpath
 from ..common.errors import WorkloadError
 from ..gpu.kernels import KernelInstance
 from ..llm.graph import CommKind, Graph, LogicalOp, OpKind
@@ -43,7 +44,7 @@ class OverlapRunner:
         if partitions < 1:
             raise WorkloadError(f"partitions must be >= 1: {partitions}")
         self.harness = harness
-        self.comm = comm
+        self.comm = maybe_fastpath(harness, comm)
         self.tiling = tiling or TilingConfig()
         self.partitions = partitions
         self.launch_overhead_ns = (
@@ -58,35 +59,52 @@ class OverlapRunner:
         waiting = {op.name: len(op.deps) for op in graph.ops()}
         pending = {"count": len(done)}
 
+        # See BarrierRunner.run_graph: a lone successor started from an
+        # otherwise-idle frame may use the executor's kernel fast-path.
+        # Pipelined GEMM partitions never qualify — overlapping their
+        # collective slices is the whole point of this runner.
+        starting = {"depth": 0}
+
         def finish(name: str) -> None:
             done[name] = True
             pending["count"] -= 1
             if pending["count"] == 0 and on_done is not None:
                 on_done()
                 return
+            ready = []
             for consumer in graph.consumers_of(name):
                 waiting[consumer.name] -= 1
                 if waiting[consumer.name] == 0:
-                    start(consumer)
+                    ready.append(consumer)
+            solo = len(ready) == 1 and starting["depth"] == 0
+            for consumer in ready:
+                start(consumer, solo)
 
-        def start(op: LogicalOp) -> None:
-            if op.name in absorbed.values():
-                return               # driven by its producer GEMM
-            if op.name in absorbed:
-                self._start_pipelined(graph, op, absorbed[op.name], finish)
-                return
-            if op.kind is OpKind.COMM:
-                self.comm.run(op.comm, op.comm_bytes,
-                              lambda name=op.name: finish(name))
-                return
-            kernel = compute_kernel(op, self.harness.config.gpu, self.tiling,
-                                    launch_overhead_ns=self.launch_overhead_ns)
-            self.harness.executor.launch_kernel(
-                kernel, on_complete=lambda name=op.name: finish(name))
+        def start(op: LogicalOp, solo: bool = False) -> None:
+            starting["depth"] += 1
+            try:
+                if op.name in absorbed.values():
+                    return           # driven by its producer GEMM
+                if op.name in absorbed:
+                    self._start_pipelined(graph, op, absorbed[op.name],
+                                          finish)
+                    return
+                if op.kind is OpKind.COMM:
+                    self.comm.run(op.comm, op.comm_bytes,
+                                  lambda name=op.name: finish(name))
+                    return
+                kernel = compute_kernel(
+                    op, self.harness.config.gpu, self.tiling,
+                    launch_overhead_ns=self.launch_overhead_ns)
+                self.harness.executor.launch_kernel(
+                    kernel, on_complete=lambda name=op.name: finish(name),
+                    isolated=solo)
+            finally:
+                starting["depth"] -= 1
 
-        for op in graph.topo_order():
-            if waiting[op.name] == 0:
-                start(op)
+        roots = [op for op in graph.topo_order() if waiting[op.name] == 0]
+        for op in roots:
+            start(op, solo=len(roots) == 1)
 
     def run_graphs(self, graphs: List[Graph],
                    on_done: Optional[Callable[[], None]] = None) -> None:

@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro import obs
+from repro.common import fastpath
 from repro.common.config import dgx_h100_config
 from repro.llm.models import LLAMA_7B
 from repro.llm.tiling import TilingConfig
@@ -101,11 +102,28 @@ def test_untraced_run_allocates_no_observability_state(tmp_path):
 
 def test_traced_and_untraced_runs_agree_on_physics(tmp_path):
     """Observability is read-only: enabling it must not perturb the
-    simulated hardware in any way."""
+    simulated hardware in any way.
+
+    Tracing forces the engine fast-path off (span emission needs every
+    event), so the untraced reference runs with the fast-path disabled
+    too — event counts are an engine detail, physics is the contract."""
     traced, _, _ = _traced_run(tmp_path / "t.json")
     model = LLAMA_7B.scaled(0.125)
-    plain = make_system("CAIS", dgx_h100_config(), tiling=TILING).run(
-        [sublayer_graph(model, 8, "L1")])
+    with fastpath.overridden(fastpath.DISABLED):
+        plain = make_system("CAIS", dgx_h100_config(), tiling=TILING).run(
+            [sublayer_graph(model, 8, "L1")])
     assert plain.makespan_ns == traced.makespan_ns
     assert plain.tbs_completed == traced.tbs_completed
     assert plain.events == traced.events
+
+
+def test_fastpath_run_agrees_with_traced_physics(tmp_path):
+    """The engine fast-path elides events but must not move physics: a
+    default (fast-path on) run reproduces the traced makespan exactly."""
+    traced, _, _ = _traced_run(tmp_path / "t.json")
+    model = LLAMA_7B.scaled(0.125)
+    fast = make_system("CAIS", dgx_h100_config(), tiling=TILING).run(
+        [sublayer_graph(model, 8, "L1")])
+    assert fast.makespan_ns == traced.makespan_ns
+    assert fast.tbs_completed == traced.tbs_completed
+    assert fast.events <= traced.events

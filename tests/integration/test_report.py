@@ -18,6 +18,7 @@ import math
 import pytest
 
 from repro import obs
+from repro.common import fastpath
 from repro.common.config import dgx_h100_config
 from repro.experiments.diff import diff_reports, format_diff
 from repro.experiments.report import (build_report, report_to_json,
@@ -131,8 +132,12 @@ def test_same_seed_runs_are_byte_identical():
 
 
 def test_sinks_do_not_perturb_the_simulation():
+    # Sinks force the engine fast-path off (they observe per-event state),
+    # so the uninstrumented reference disables it too: event counts are an
+    # engine detail, physics is the contract.
     obs.reset()
-    baseline = _serve()
+    with fastpath.overridden(fastpath.DISABLED):
+        baseline = _serve()
     instrumented, _ = _instrumented_serve()
     assert instrumented.run.makespan_ns == baseline.run.makespan_ns
     assert instrumented.run.events == baseline.run.events

@@ -101,7 +101,21 @@ def main(argv=None) -> int:
                         metavar="X",
                         help="fault intensity in [0,1] "
                              "(default: %(default)s)")
+    parser.add_argument("--admission", default="none",
+                        choices=("none", "shed", "defer"),
+                        help="serving workload: SLO-aware admission "
+                             "policy (default: %(default)s)")
+    parser.add_argument("--slo-ttft-ms", type=float, default=None,
+                        metavar="MS",
+                        help="serving workload: TTFT SLO target driving "
+                             "--admission and the attainment summary")
+    parser.add_argument("--retry-budget", type=int, default=None,
+                        metavar="N",
+                        help="serving workload: per-request retransmit "
+                             "budget before abort + re-prefill")
     args = parser.parse_args(argv)
+    if args.admission != "none" and args.slo_ttft_ms is None:
+        parser.error("--admission requires --slo-ttft-ms")
 
     if args.no_fastpath:
         os.environ["REPRO_NO_FASTPATH"] = "1"
@@ -141,18 +155,32 @@ def main(argv=None) -> int:
             from .experiments.runner import style_for
             from .llm.serving import simulate_serving
             spec = dataclasses.replace(spec_for(scale, seed=args.seed),
-                                       model=args.model)
+                                       model=args.model,
+                                       admission_policy=args.admission,
+                                       slo_ttft_ms=args.slo_ttft_ms,
+                                       retry_budget=args.retry_budget)
             serving = simulate_serving(system, spec, model=by_name(
                 args.model), style=style_for(args.system))
             result = serving.run
+            hiccups = f"{serving.evictions} evictions"
+            if serving.shed:
+                hiccups += f", {len(serving.shed)} shed"
+            if serving.aborts:
+                hiccups += f", {serving.aborts} aborts"
             print(f"serving: {len(serving.stats)} requests, "
                   f"{serving.total_output_tokens} tokens in "
                   f"{serving.iterations} iterations "
-                  f"({serving.evictions} evictions) -> "
+                  f"({hiccups}) -> "
                   f"{serving.tokens_per_s:,.0f} tokens/s, "
                   f"TTFT mean {serving.mean_ttft_ns() / 1e6:.2f} ms / "
                   f"p95 {serving.ttft_quantile_ns(0.95) / 1e6:.2f} ms, "
                   f"TPOT mean {serving.mean_tpot_ns() / 1e6:.2f} ms")
+            if args.slo_ttft_ms is not None:
+                slo_ns = args.slo_ttft_ms * 1e6
+                print(f"SLO (TTFT <= {args.slo_ttft_ms:g} ms): "
+                      f"{serving.slo_attainment(slo_ns):.1%} attainment "
+                      f"of {len(serving.stats) + len(serving.shed)} "
+                      f"offered")
         else:
             if args.workload == "layer":
                 graphs = layer_graphs(model, args.gpus, args.system,

@@ -40,6 +40,7 @@ from . import (
     fig18_nvls_validation,
     fig19_resilience,
     fig20_serving,
+    fig21_faulted_serving,
     table2_scaling_validation,
 )
 from .. import obs
@@ -105,6 +106,13 @@ def _fig20(scale: Scale, ctx: ExecContext) -> str:
     return fig20_serving.format_table(fig20_serving.run(scale, ctx=ctx))
 
 
+def _fig21(scale: Scale, ctx: ExecContext) -> str:
+    seed = (ctx.fault_spec.fault_seed
+            if ctx.fault_spec is not None else 0)
+    return fig21_faulted_serving.format_table(
+        fig21_faulted_serving.run(scale, fault_seed=seed, ctx=ctx))
+
+
 def _sensitivity(scale: Scale, ctx: ExecContext) -> str:
     return sensitivity.format_tables(
         sensitivity.bandwidth_sweep(scale, ctx=ctx),
@@ -133,6 +141,7 @@ EXPERIMENTS = {
     "fig18": _fig18,
     "fig19": _fig19,
     "fig20_serving": _fig20,
+    "fig21": _fig21,
     "sensitivity": _sensitivity,
     "table2": _table2,
     "hw": _hw,
@@ -180,12 +189,14 @@ def main(argv=None) -> int:
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="also write a serving run-report JSON "
                              "(fig20_serving: fault-free; fig19: faulted "
-                             "at peak intensity; see `python -m repro "
-                             "report`)")
+                             "at peak intensity; fig21: faulted with "
+                             "admission control and retry budgets; see "
+                             "`python -m repro report`)")
     args = parser.parse_args(argv)
-    if args.report and args.experiment not in ("fig19", "fig20_serving"):
-        parser.error("--report is only meaningful for fig19 and "
-                     "fig20_serving")
+    if args.report and args.experiment not in ("fig19", "fig20_serving",
+                                               "fig21"):
+        parser.error("--report is only meaningful for fig19, "
+                     "fig20_serving and fig21")
 
     if args.no_fastpath:
         # The env var (not just set_config) so that pool workers spawned

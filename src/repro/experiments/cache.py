@@ -36,7 +36,9 @@ from typing import Any, Dict, Optional
 #: Bump on any change to the RunSummary schema *or* to the simulation
 #: model's observable behaviour — on-disk entries from older schemas are
 #: simply never looked up again.
-CACHE_SCHEMA = "v3"   # v3: serving-workload specs joined the task payload
+CACHE_SCHEMA = "v4"   # v4: ServingSpec grew resilience fields (admission
+                      # policy, SLO target, retry budget) — all in the
+                      # fingerprint, so v3 serving entries are stale
 
 
 def canonical(value: Any) -> Any:

@@ -33,6 +33,8 @@ _SUMMARY_METRICS = (
     ("makespan_ns", "summary", ("makespan_ns",)),
     ("requests", "summary", ("requests",)),
     ("evictions", "summary", ("evictions",)),
+    ("shed", "summary", ("shed",)),
+    ("aborts", "summary", ("aborts",)),
     ("ttft_p50_ns", "summary", ("ttft_ns", "p50")),
     ("ttft_p95_ns", "summary", ("ttft_ns", "p95")),
     ("ttft_p99_ns", "summary", ("ttft_ns", "p99")),
@@ -43,7 +45,8 @@ _SUMMARY_METRICS = (
 )
 
 #: Per-window counters whose movement is attributed window by window.
-_WINDOW_KEYS = ("tokens", "completions", "evictions", "retries")
+_WINDOW_KEYS = ("tokens", "completions", "evictions", "sheds",
+                "aborts", "retries")
 
 
 def _get(report: Dict, section: str, path) -> float:

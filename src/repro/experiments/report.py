@@ -39,7 +39,9 @@ from .fig20_serving import spec_for
 from .runner import DEFAULT, Scale, markdown_table, style_for
 
 #: Report JSON schema version; bump on incompatible shape changes.
-REPORT_SCHEMA = 1
+#: v2: summary.shed/aborts and per-window sheds/aborts counters joined
+#: with the resilient-serving subsystem (DESIGN.md §12).
+REPORT_SCHEMA = 2
 REPORT_KIND = "repro-report"
 
 #: Default SLO targets, calibrated so the quick fig20 stream lands
@@ -56,6 +58,8 @@ _WINDOW_COUNTERS = (
     ("iterations", "serving.iterations"),
     ("completions", "serving.requests_completed"),
     ("evictions", "serving.evictions"),
+    ("sheds", "serving.shed"),
+    ("aborts", "serving.aborts"),
     ("retries", "faults.retries"),
 )
 
@@ -159,6 +163,8 @@ def build_report(serving, *, slo_ttft_ms: float = DEFAULT_SLO_TTFT_MS,
             "tokens": serving.total_output_tokens,
             "iterations": serving.iterations,
             "evictions": serving.evictions,
+            "shed": len(serving.shed),
+            "aborts": serving.aborts,
             "kv_peak_bytes": serving.peak_kv_bytes,
             "makespan_ns": makespan,
             "tokens_per_s": serving.tokens_per_s,
@@ -262,7 +268,8 @@ def validate_report(report: Dict) -> None:
                          f"!= supported {REPORT_SCHEMA}")
     need(report, "run", (dict,), "")
     summary = need(report, "summary", (dict,), "")
-    for key in ("requests", "tokens", "iterations", "evictions"):
+    for key in ("requests", "tokens", "iterations", "evictions",
+                "shed", "aborts"):
         need(summary, key, (int,), "summary")
     for key in ("makespan_ns", "tokens_per_s"):
         need(summary, key, (int, float), "summary")
@@ -279,7 +286,8 @@ def validate_report(report: Dict) -> None:
         if not isinstance(win, dict):
             raise ValueError(f"report: windows[{i}] is not an object")
         for key in ("index", "start_ns", "end_ns", "tokens",
-                    "completions", "evictions", "retries"):
+                    "completions", "evictions", "sheds", "aborts",
+                    "retries"):
             need(win, key, (int, float), f"windows[{i}]")
         need(win, "faults", (list,), f"windows[{i}]")
     for i, mark in enumerate(need(report, "fault_windows", (list,), "")):
@@ -336,6 +344,11 @@ def format_report(report: Dict, max_window_rows: int = 40) -> str:
     slo = report["slo"]
     title = " ".join(str(run[k]) for k in ("system", "model")
                      if k in run) or "serving run"
+    hiccups = f"{summary['evictions']} evictions"
+    if summary.get("shed"):
+        hiccups += f", {summary['shed']} shed"
+    if summary.get("aborts"):
+        hiccups += f", {summary['aborts']} aborts"
     head = [f"### repro run report — {title} "
             f"(seed {run.get('seed', '?')}"
             + (f", fault intensity {run['fault_intensity']:g}"
@@ -343,7 +356,7 @@ def format_report(report: Dict, max_window_rows: int = 40) -> str:
             "",
             f"{summary['requests']} requests, {summary['tokens']} tokens "
             f"in {summary['iterations']} iterations "
-            f"({summary['evictions']} evictions) over "
+            f"({hiccups}) over "
             f"{summary['makespan_ns'] / 1e6:.2f} ms — "
             f"{summary['tokens_per_s']:,.0f} tokens/s",
             f"SLO (TTFT <= {slo['ttft_ms']:g} ms, TPOT <= "
@@ -428,15 +441,20 @@ def run_report(system: str = "CAIS", scale: Scale = DEFAULT,
                fault_seed: int = 0, window_ns: float = 100_000.0,
                slo_ttft_ms: float = DEFAULT_SLO_TTFT_MS,
                slo_tpot_ms: float = DEFAULT_SLO_TPOT_MS,
-               worst_n: int = 5) -> Dict:
+               worst_n: int = 5, admission_policy: str = "none",
+               retry_budget: Optional[int] = None) -> Dict:
     """Run one serving simulation with reporting sinks and build its report.
 
     Uses the fig20 request stream; a positive ``fault_intensity`` applies
     the fig19 fault schedule on top (the "faulted fig19-style serving
-    run").  The previously-installed sinks are restored afterwards, so
-    this can run inside the experiments CLI without clobbering its
-    metrics registry.
+    run").  ``admission_policy`` / ``retry_budget`` arm the resilient
+    serving mechanisms (DESIGN.md §12) with the report's TTFT target as
+    the admission SLO.  The previously-installed sinks are restored
+    afterwards, so this can run inside the experiments CLI without
+    clobbering its metrics registry.
     """
+    from dataclasses import replace as dc_replace
+
     from ..llm.serving import simulate_serving
     from ..systems import make_system
 
@@ -444,6 +462,10 @@ def run_report(system: str = "CAIS", scale: Scale = DEFAULT,
     if fault_intensity > 0.0:
         cfg = cfg.with_faults(fault_spec_for(fault_intensity, fault_seed))
     spec = spec_for(scale, seed)
+    if admission_policy != "none" or retry_budget is not None:
+        spec = dc_replace(spec, admission_policy=admission_policy,
+                          slo_ttft_ms=slo_ttft_ms,
+                          retry_budget=retry_budget)
     prev_ts = obs.current_timeseries()
     prev_rl = obs.current_request_log()
     prev_cz = obs.current_causality()
@@ -471,9 +493,10 @@ def run_report(system: str = "CAIS", scale: Scale = DEFAULT,
 def experiment_report(experiment: str, scale: Scale, ctx=None) -> Dict:
     """The ``--report`` artifact for an experiments-CLI invocation.
 
-    ``fig20_serving`` emits the fault-free serving report;
-    ``fig19`` the faulted one (intensity 1.0, the sweep's peak, honoring
-    an ambient ``--fault-seed``).
+    ``fig20_serving`` emits the fault-free serving report; ``fig19`` the
+    faulted one (intensity 1.0, the sweep's peak, honoring an ambient
+    ``--fault-seed``); ``fig21`` the faulted run with fig21's resilience
+    mechanisms armed (shed admission, retry budget).
     """
     fault_seed = (ctx.fault_spec.fault_seed
                   if ctx is not None and ctx.fault_spec is not None else 0)
@@ -482,8 +505,16 @@ def experiment_report(experiment: str, scale: Scale, ctx=None) -> Dict:
     if experiment == "fig19":
         return run_report(scale=scale, fault_intensity=1.0,
                           fault_seed=fault_seed)
+    if experiment == "fig21":
+        from .fig21_faulted_serving import RETRY_BUDGET, SLO_TTFT_MS
+        return run_report(scale=scale, fault_intensity=1.0,
+                          fault_seed=fault_seed,
+                          slo_ttft_ms=SLO_TTFT_MS,
+                          admission_policy="shed",
+                          retry_budget=RETRY_BUDGET)
     raise ValueError(
-        f"--report supports fig19 and fig20_serving, not {experiment!r}")
+        f"--report supports fig19, fig20_serving and fig21, "
+        f"not {experiment!r}")
 
 
 def main(argv=None) -> int:
@@ -512,6 +543,14 @@ def main(argv=None) -> int:
                         default=DEFAULT_SLO_TTFT_MS)
     parser.add_argument("--slo-tpot-ms", type=float,
                         default=DEFAULT_SLO_TPOT_MS)
+    parser.add_argument("--admission", default="none",
+                        choices=("none", "shed", "defer"),
+                        help="SLO-aware admission policy (gates on the "
+                             "--slo-ttft-ms target; default: %(default)s)")
+    parser.add_argument("--retry-budget", type=int, default=None,
+                        metavar="N",
+                        help="per-request retransmit budget before abort "
+                             "+ re-prefill (default: unbounded)")
     parser.add_argument("--worst", type=int, default=5, metavar="N",
                         help="worst-request rows (default: %(default)s)")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -530,7 +569,9 @@ def main(argv=None) -> int:
             window_ns=args.window_us * 1e3,
             slo_ttft_ms=args.slo_ttft_ms,
             slo_tpot_ms=args.slo_tpot_ms,
-            worst_n=args.worst)
+            worst_n=args.worst,
+            admission_policy=args.admission,
+            retry_budget=args.retry_budget)
     print(format_report(report))
     if args.json:
         write_report(report, args.json)

@@ -11,7 +11,7 @@ fault windows drawn as spans on a dedicated trace track.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Set
 
 from ..common.events import Simulator
 from ..common.config import FaultSpec
@@ -31,6 +31,12 @@ from .watchdog import Watchdog
 #: report rather than a degradation curve.
 _DROPPABLE_OPS = frozenset({Op.RED_CAIS, Op.RED_CAIS_ACK, Op.CHUNK_ACK})
 
+#: Effective fabric capacity once NVLS collectives fall back to ring: the
+#: degradation listeners (the serving batcher's replanning) treat the
+#: fallback as halving collective throughput, matching the roughly 2x
+#: NVLS-vs-ring gap the fig18 validation measures.
+NVLS_FALLBACK_CAPACITY = 0.5
+
 
 class FaultCounters:
     """Order-independent event counters, mirrored to obs metrics.
@@ -40,7 +46,7 @@ class FaultCounters:
     reports can correlate retries and drops with fault windows.
     """
 
-    def __init__(self, sim: Simulator = None) -> None:
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
         self._counts: Dict[str, int] = {}
         self._mx = current_metrics()
         self._ts = current_timeseries()
@@ -80,16 +86,52 @@ class FaultState:
         #: collectives must take the ring fallback from then on.
         self.nvls_faulted = False
         self._nvls_listeners: List[Callable[[], None]] = []
+        #: Degraded-capacity tracking for workload-level replanning: the
+        #: injector records the plane population at install time and every
+        #: permanent capacity loss (plane death, NVLS fallback) notifies
+        #: the degradation listeners so schedulers can shrink their next
+        #: plan instead of stalling against hardware that no longer exists.
+        self.planes_total = 0
+        self.planes_failed: Set[int] = set()
+        self._degradation_listeners: List[Callable[[], None]] = []
 
     def on_nvls_fault(self, callback: Callable[[], None]) -> None:
         """Register for notification when an NVLS compute unit dies."""
         self._nvls_listeners.append(callback)
+
+    def on_degradation(self, callback: Callable[[], None]) -> None:
+        """Register for notification of any permanent capacity loss."""
+        self._degradation_listeners.append(callback)
+
+    def _notify_degradation(self) -> None:
+        for callback in self._degradation_listeners:
+            callback()
 
     def nvls_unit_failed(self, switch_index: int) -> None:
         self.counters.bump("nvls_unit_failures")
         self.nvls_faulted = True
         for callback in self._nvls_listeners:
             callback()
+        self._notify_degradation()
+
+    def plane_failed(self, plane: int) -> None:
+        """One switch plane left service permanently."""
+        self.counters.bump("plane_failures")
+        self.planes_failed.add(plane)
+        self._notify_degradation()
+
+    def capacity_factor(self) -> float:
+        """Surviving fabric capacity in [0, 1] for degradation-aware
+        replanning: the fraction of planes still alive, further capped at
+        :data:`NVLS_FALLBACK_CAPACITY` once NVLS collectives run on the
+        ring fallback."""
+        factor = 1.0
+        if self.planes_total:
+            factor = ((self.planes_total - len(self.planes_failed))
+                      / self.planes_total)
+        if self.nvls_faulted:
+            factor = min(factor, NVLS_FALLBACK_CAPACITY)
+        return factor
 
 
 class FaultInjector:
@@ -112,7 +154,8 @@ class FaultInjector:
                        if self._tr.enabled else 0)
         self._next_span = 0
         self._scheduled: List = []
-        self._watchdog: Watchdog = None
+        self._watchdog: Optional[Watchdog] = None
+        self._pending_reporters: List[Callable[[], str]] = []
         self._quiesced = False
 
     # ------------------------------------------------------------------
@@ -121,6 +164,7 @@ class FaultInjector:
     def install(self) -> None:
         """Schedule every fault, arm the message hook and the watchdog."""
         spec = self.schedule.spec
+        self.state.planes_total = len(self.network.switches)
         if self.schedule.drop_probability > 0.0 \
                 or self.schedule.corrupt_probability > 0.0:
             self.network.install_fault_hook(self._message_fault)
@@ -129,7 +173,22 @@ class FaultInjector:
                 self.sim.schedule_at(ev.time_ns, self._apply, ev))
         self._watchdog = Watchdog(self.sim, spec.watchdog_interval_ns,
                                   spec.watchdog_strikes, self.state.counters)
+        for reporter in self._pending_reporters:
+            self._watchdog.add_reporter(reporter)
+        self._pending_reporters.clear()
         self._watchdog.arm()
+
+    def add_watch_reporter(self, reporter: Callable[[], str]) -> None:
+        """Extend the stall watchdog's outstanding-work report.
+
+        Serving loops register their request-queue state here so a
+        watchdog trip mid-stream reports outstanding *requests* (who is
+        running/waiting and how far along) and not just outstanding ops.
+        """
+        if self._watchdog is None:
+            self._pending_reporters.append(reporter)
+        else:
+            self._watchdog.add_reporter(reporter)
 
     def quiesce(self) -> None:
         """The workload completed: stand down everything still scheduled.
@@ -183,8 +242,10 @@ class FaultInjector:
             self.network.fail_plane(plane)
             switch = self.network.switches[plane]
             switch.failed = True
-            counters.bump("plane_failures")
             self._fail_engines(switch, compute_only=False)
+            # After the engine hooks, so replanning listeners observe the
+            # post-fallback state (counter bump included).
+            self.state.plane_failed(plane)
         elif ev.kind is FaultKind.NVLS_FAIL:
             plane = int(ev.target.split(":")[1])
             counters.bump("compute_unit_failures")

@@ -14,9 +14,11 @@ than the run hanging silently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, \
+    TYPE_CHECKING
 
 from ..common.config import FaultSpec
+from ..common.errors import ConfigError
 from ..common.events import Event, Simulator
 from ..obs import current_causality
 from ..obs.causality import RETRANSMIT
@@ -73,6 +75,13 @@ class Retransmitter:
         self._outstanding: Dict[Rkey, _Outstanding] = {}
         self._seen: Set[Rkey] = set()
         self._cz = current_causality()
+        self._retry_listeners: List[Callable[[], None]] = []
+
+    def add_retry_listener(self, callback: Callable[[], None]) -> None:
+        """Called once per retransmission (after the ``retries`` counter
+        bump).  The serving layer hangs its per-request retry budget
+        here; listeners must not send messages of their own."""
+        self._retry_listeners.append(callback)
 
     # -- sender side ---------------------------------------------------
     def track(self, key: Rkey, resend: Callable[[int], None],
@@ -128,6 +137,8 @@ class Retransmitter:
             self.counters.bump("retry_exhausted")
             return
         self.counters.bump("retries")
+        for callback in self._retry_listeners:
+            callback()
         if self._cz.enabled:
             # Attribute the timeout wait (and the resent copy's whole
             # causal subtree) to retransmission.  The node spans the ack
@@ -155,3 +166,51 @@ class Retransmitter:
             return False
         self._seen.add(key)
         return True
+
+
+class RequestRetryBudget:
+    """Bounds retry storms per serving request.
+
+    The fabric's retransmissions are not attributable to individual
+    requests (a dropped ring chunk carries a whole iteration's batch), so
+    the budget charges *collectively*: every retry observed between two
+    ``settle`` calls (one iteration) is charged to each request that
+    participated in that iteration.  A request stuck co-scheduled with a
+    retry storm therefore accumulates charge each iteration it fails to
+    make progress through, and once its cumulative charge exceeds the
+    budget the batcher aborts it — dropping its KV cache and requeueing a
+    full re-prefill — instead of letting the storm stretch every other
+    request's tail.  Deterministic: pure function of the retry sequence
+    and the iteration membership.
+    """
+
+    def __init__(self, budget: int):
+        if budget < 1:
+            raise ConfigError(
+                f"RequestRetryBudget.budget={budget!r} must be >= 1")
+        self.budget = budget
+        self._pending = 0
+        #: Cumulative charge per request id, cleared on abort/finish.
+        self.charges: Dict[int, int] = {}
+
+    def note_retry(self) -> None:
+        """Retransmitter listener: one retry happened."""
+        self._pending += 1
+
+    def settle(self, rids: Sequence[int]) -> List[int]:
+        """Charge the retries since the last settle to every participant;
+        returns the rids (in participation order) now over budget."""
+        delta, self._pending = self._pending, 0
+        if not delta:
+            return []
+        over: List[int] = []
+        for rid in rids:
+            charge = self.charges.get(rid, 0) + delta
+            self.charges[rid] = charge
+            if charge > self.budget:
+                over.append(rid)
+        return over
+
+    def reset(self, rid: int) -> None:
+        """Forget a request's charge (it was aborted or finished)."""
+        self.charges.pop(rid, None)

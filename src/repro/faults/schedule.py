@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..common.config import FaultSpec, SystemConfig
 from ..common.rng import RngPool
@@ -78,6 +78,15 @@ class FaultSchedule:
 
     def by_kind(self, kind: FaultKind) -> List[FaultEvent]:
         return [ev for ev in self.events if ev.kind is kind]
+
+    def windows(self) -> List[Tuple[float, Optional[float]]]:
+        """Active ``(start_ns, end_ns)`` span per fault; ``end_ns`` is
+        ``None`` for permanent faults.  Used to classify serving requests
+        as clean vs degraded: a request whose lifetime overlaps any span
+        ran under degradation."""
+        return [(ev.time_ns,
+                 ev.time_ns + ev.duration_ns if ev.duration_ns > 0 else None)
+                for ev in self.events]
 
     # Effective per-message probabilities (already intensity-scaled).
     @property

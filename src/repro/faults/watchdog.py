@@ -13,7 +13,7 @@ report from :meth:`Simulator.outstanding_report`.
 
 from __future__ import annotations
 
-from typing import Callable, TYPE_CHECKING
+from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..common.errors import DeadlockError
 from ..common.events import Simulator
@@ -27,7 +27,7 @@ class Watchdog:
 
     def __init__(self, sim: Simulator, interval_ns: float, strikes: int,
                  counters: "FaultCounters",
-                 progress: Callable[[], int] = None):
+                 progress: Optional[Callable[[], int]] = None):
         self.sim = sim
         self.interval_ns = interval_ns
         self.max_strikes = strikes
@@ -38,6 +38,14 @@ class Watchdog:
         self._last = None
         self._strikes = 0
         self._timer = None
+        self._reporters: List[Callable[[], str]] = []
+
+    def add_reporter(self, reporter: Callable[[], str]) -> None:
+        """Extend the trip report beyond the simulator's outstanding-ops
+        view.  Serving loops add their request-queue state so a stall
+        mid-stream names the wedged *requests*, not just wedged messages.
+        Reporters returning an empty string are skipped."""
+        self._reporters.append(reporter)
 
     def arm(self) -> None:
         self._timer = self.sim.schedule(self.interval_ns, self._tick)
@@ -63,7 +71,11 @@ class Watchdog:
             self._strikes += 1
             if self._strikes >= self.max_strikes:
                 self.counters.bump("watchdog_trips")
-                report = self.sim.outstanding_report()
+                report = list(self.sim.outstanding_report())
+                for reporter in self._reporters:
+                    line = reporter()
+                    if line:
+                        report.append(line)
                 detail = "; ".join(report) if report else "<no reporters>"
                 raise DeadlockError(
                     f"no simulation progress for "

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..common.errors import SimulationError, WorkloadError
 from ..common.rng import RngPool
+from ..faults.retry import RequestRetryBudget
 from ..obs import (current_causality, current_metrics, current_request_log,
                    current_timeseries, current_tracer)
 from ..obs.requests import PHASE_DECODE, PHASE_PREFILL, category_shares
@@ -90,31 +91,63 @@ class ServingSpec:
     #: a batch-limited default (every slot holding a worst-case request).
     kv_budget_bytes: Optional[int] = None
     max_batch_requests: int = 8
+    #: SLO-aware admission control: ``"none"`` (inert default), ``"shed"``
+    #: (reject fresh prefills while gated — they count against SLO
+    #: attainment) or ``"defer"`` (hold them in the waiting queue).
+    admission_policy: str = "none"
+    #: TTFT SLO target in milliseconds.  Enables the admission controller
+    #: (with a non-``"none"`` policy) and the SLO attainment / goodput
+    #: result details.  ``None`` keeps both off.
+    slo_ttft_ms: Optional[float] = None
+    #: Sliding window (ms) of completions the controller measures p95 over.
+    admission_window_ms: float = 1.0
+    #: Hysteresis: a gated run resumes admitting once windowed TTFT p95
+    #: falls to ``resume_fraction * slo_ttft_ms``.
+    resume_fraction: float = 0.8
+    #: Per-request retransmit charge bound under faults; exceeding it
+    #: aborts the request (KV dropped, full re-prefill requeued).
+    #: ``None`` disables abort accounting.
+    retry_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.arrival_rate_rps <= 0:
-            raise WorkloadError(
-                f"arrival_rate_rps must be positive, "
-                f"got {self.arrival_rate_rps}")
-        if self.max_arrival_rate_rps is not None and \
-                self.max_arrival_rate_rps < self.arrival_rate_rps:
-            raise WorkloadError(
-                f"max_arrival_rate_rps={self.max_arrival_rate_rps} must be "
-                f">= arrival_rate_rps={self.arrival_rate_rps}")
-        if self.horizon_ms <= 0:
-            raise WorkloadError(f"horizon_ms must be positive, "
-                                f"got {self.horizon_ms}")
+        def require(ok: bool, name: str, value, constraint: str) -> None:
+            # FaultSpec's convention: name the offending field and value.
+            if not ok:
+                raise WorkloadError(
+                    f"ServingSpec.{name}={value!r} {constraint}")
+
+        require(self.arrival_rate_rps > 0, "arrival_rate_rps",
+                self.arrival_rate_rps, "must be > 0")
+        require(self.max_arrival_rate_rps is None
+                or self.max_arrival_rate_rps >= self.arrival_rate_rps,
+                "max_arrival_rate_rps", self.max_arrival_rate_rps,
+                f"must be >= arrival_rate_rps={self.arrival_rate_rps}")
+        require(self.horizon_ms > 0, "horizon_ms", self.horizon_ms,
+                "must be > 0")
         for lo, hi, what in ((self.prompt_min, self.prompt_max, "prompt"),
                              (self.output_min, self.output_max, "output")):
-            if not 1 <= lo <= hi:
-                raise WorkloadError(
-                    f"need 1 <= {what}_min <= {what}_max, got [{lo}, {hi}]")
-        if self.max_batch_requests < 1:
-            raise WorkloadError(f"max_batch_requests must be >= 1, "
-                                f"got {self.max_batch_requests}")
-        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
-            raise WorkloadError(f"kv_budget_bytes must be positive, "
-                                f"got {self.kv_budget_bytes}")
+            require(1 <= lo <= hi, f"{what}_min..{what}_max",
+                    (lo, hi), f"needs 1 <= {what}_min <= {what}_max")
+        require(self.max_batch_requests >= 1, "max_batch_requests",
+                self.max_batch_requests, "must be >= 1")
+        require(self.kv_budget_bytes is None or self.kv_budget_bytes > 0,
+                "kv_budget_bytes", self.kv_budget_bytes, "must be > 0")
+        require(self.admission_policy in ("none", "shed", "defer"),
+                "admission_policy", self.admission_policy,
+                "must be one of 'none', 'shed', 'defer'")
+        require(self.admission_policy == "none"
+                or self.slo_ttft_ms is not None,
+                "slo_ttft_ms", self.slo_ttft_ms,
+                f"is required by "
+                f"admission_policy={self.admission_policy!r}")
+        require(self.slo_ttft_ms is None or self.slo_ttft_ms > 0,
+                "slo_ttft_ms", self.slo_ttft_ms, "must be > 0")
+        require(self.admission_window_ms > 0, "admission_window_ms",
+                self.admission_window_ms, "must be > 0")
+        require(0 < self.resume_fraction <= 1, "resume_fraction",
+                self.resume_fraction, "must be in (0, 1]")
+        require(self.retry_budget is None or self.retry_budget >= 1,
+                "retry_budget", self.retry_budget, "must be >= 1")
 
     @property
     def effective_max_rate(self) -> float:
@@ -142,6 +175,11 @@ class RequestStats:
     first_token_ns: Optional[float] = None
     finish_ns: Optional[float] = None
     evictions: int = 0
+    #: Retry-budget aborts this request survived (KV dropped, re-prefill).
+    aborts: int = 0
+    #: True when admission control rejected the request outright; its
+    #: ``finish_ns`` is the shed time and no tokens were emitted.
+    shed: bool = False
 
     @property
     def ttft_ns(self) -> float:
@@ -193,6 +231,73 @@ def generate_requests(spec: ServingSpec) -> List[Request]:
                                                spec.output_max + 1))))
         i += 1
     return requests
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+class AdmissionController:
+    """SLO-aware admission gate, driven purely by simulated time.
+
+    The controller watches TTFT of completions inside a sliding window.
+    When the windowed p95 breaches the SLO target, the gate closes and
+    new prefills are shed or deferred (per ``ServingSpec.admission_policy``)
+    until the p95 recovers below ``resume_fraction * slo`` — hysteresis so
+    a run hovering at the target does not flap admission every iteration.
+    Everything is a pure function of completion times, so two identical
+    runs gate identically; an empty window reads as p95 = 0 and reopens
+    the gate, which is what guarantees liveness once the backlog drains.
+    """
+
+    def __init__(self, slo_ttft_ns: float, window_ns: float,
+                 resume_fraction: float):
+        self.slo_ttft_ns = slo_ttft_ns
+        self.window_ns = window_ns
+        self.resume_fraction = resume_fraction
+        self.gated = False
+        self.breaches = 0
+        self.resumes = 0
+        #: (finish_ns, ttft_ns) completions, ordered by finish time.
+        self._samples: List[Tuple[float, float]] = []
+
+    def record(self, finish_ns: float, ttft_ns: float) -> None:
+        self._samples.append((finish_ns, ttft_ns))
+
+    def _prune(self, now_ns: float) -> None:
+        cutoff = now_ns - self.window_ns
+        drop = 0
+        while drop < len(self._samples) and \
+                self._samples[drop][0] <= cutoff:
+            drop += 1
+        if drop:
+            del self._samples[:drop]
+
+    def windowed_p95_ns(self, now_ns: float) -> float:
+        self._prune(now_ns)
+        return _exact_quantile([t for _, t in self._samples], 0.95)
+
+    def update(self, now_ns: float) -> bool:
+        """Re-evaluate the gate; returns True while admission is gated."""
+        p95 = self.windowed_p95_ns(now_ns)
+        if not self.gated:
+            if p95 > self.slo_ttft_ns:
+                self.gated = True
+                self.breaches += 1
+        elif p95 <= self.resume_fraction * self.slo_ttft_ns:
+            self.gated = False
+            self.resumes += 1
+        return self.gated
+
+    def next_expiry_ns(self, now_ns: float) -> Optional[float]:
+        """When the oldest in-window sample leaves the window — the
+        driver's wake-up time when gated with nothing running (each
+        expiry shrinks the window population, so the gate provably
+        reopens in bounded sim time)."""
+        self._prune(now_ns)
+        if not self._samples:
+            return None
+        return self._samples[0][0] + self.window_ns
 
 
 # ---------------------------------------------------------------------------
@@ -261,12 +366,29 @@ class ContinuousBatcher:
         self.waiting: List[_Active] = []
         self.running: List[_Active] = []
         self.finished: List[_Active] = []
+        self.shed: List[_Active] = []
         self.evictions = 0
+        self.aborts = 0
+        self.reprefill_tokens = 0
         self.peak_kv_bytes = 0
         self.kv_bytes_now = 0
-        #: Observability hook, called as ``on_evict(active, now_ns)`` for
-        #: every eviction; None (the default) costs one attribute read.
+        #: Fault-aware replanning state: fraction of nominal batch
+        #: capacity still backed by live hardware, and how many times the
+        #: plan had to adapt to a change in it.
+        self.capacity_factor = 1.0
+        self.replans = 0
+        self.deferred_iterations = 0
+        self.admission: Optional[AdmissionController] = None
+        if spec.slo_ttft_ms is not None and spec.admission_policy != "none":
+            self.admission = AdmissionController(
+                slo_ttft_ns=spec.slo_ttft_ms * 1e6,
+                window_ns=spec.admission_window_ms * 1e6,
+                resume_fraction=spec.resume_fraction)
+        #: Observability hooks, called as ``hook(active, now_ns)``; None
+        #: (the default) costs one attribute read.
         self.on_evict: Optional[Callable] = None
+        self.on_shed: Optional[Callable] = None
+        self.on_abort: Optional[Callable] = None
 
     # -- queue maintenance ---------------------------------------------
     def release_arrivals(self, now_ns: float) -> None:
@@ -282,28 +404,85 @@ class ContinuousBatcher:
     def all_done(self) -> bool:
         return not (self.future or self.waiting or self.running)
 
+    # -- degradation ----------------------------------------------------
+    def degrade_capacity(self, factor: float) -> None:
+        """Fault-aware replanning: the fabric lost (or recovered) collective
+        capacity; clamp the next iteration's batch to what survives."""
+        factor = min(max(factor, 0.0), 1.0)
+        if factor != self.capacity_factor:
+            self.capacity_factor = factor
+            self.replans += 1
+
+    def effective_max_batch(self) -> int:
+        return max(1, int(self.spec.max_batch_requests
+                          * self.capacity_factor))
+
+    def admission_wake_ns(self, now_ns: float) -> Optional[float]:
+        """When gated with nothing running, the next sim time the gate
+        can change state (oldest sample's window expiry, plus the same
+        float slack ``release_arrivals`` uses so the re-evaluation lands
+        strictly past the edge)."""
+        if self.admission is None or not self.admission.gated:
+            return None
+        expiry = self.admission.next_expiry_ns(now_ns)
+        return None if expiry is None else expiry + 1e-3
+
     # -- planning -------------------------------------------------------
     def _kv_after(self, group: Sequence[_Active]) -> int:
         return sum(a.kv_tokens_after_iteration() for a in group) * self.kvpt
 
+    def _evict(self, now_ns: float) -> None:
+        victim = self.running.pop()
+        victim.stats.evictions += 1
+        victim.prefill_pending = (victim.stats.prompt_len
+                                  + victim.emitted)
+        self.evictions += 1
+        self.waiting.insert(0, victim)
+        if self.on_evict is not None:
+            self.on_evict(victim, now_ns)
+
+    def _shed_fresh_waiting(self, now_ns: float) -> None:
+        """Shed policy while gated: reject waiting requests that have no
+        sunk work.  Requests with emitted tokens or (re-)prefill state
+        from an eviction/abort already paid for compute the SLO math must
+        keep, so they stay queued."""
+        kept: List[_Active] = []
+        for active in self.waiting:
+            if active.emitted == 0 and active.stats.evictions == 0 \
+                    and active.stats.aborts == 0:
+                active.stats.shed = True
+                active.stats.finish_ns = now_ns
+                self.shed.append(active)
+                if self.on_shed is not None:
+                    self.on_shed(active, now_ns)
+            else:
+                kept.append(active)
+        self.waiting = kept
+
     def plan_iteration(self, now_ns: float) -> List[Participant]:
         """Admit/evict for one iteration; return its participants."""
         self.release_arrivals(now_ns)
-        while (self.waiting
-               and len(self.running) < self.spec.max_batch_requests
-               and self._kv_after(self.running + self.waiting[:1])
-               <= self.budget):
-            self.running.append(self.waiting.pop(0))
+        gated = (self.admission is not None
+                 and self.admission.update(now_ns))
+        if gated and self.waiting:
+            if self.spec.admission_policy == "shed":
+                self._shed_fresh_waiting(now_ns)
+            else:
+                self.deferred_iterations += 1
+        limit = self.effective_max_batch()
+        if not gated:
+            while (self.waiting
+                   and len(self.running) < limit
+                   and self._kv_after(self.running + self.waiting[:1])
+                   <= self.budget):
+                self.running.append(self.waiting.pop(0))
+        while len(self.running) > limit and len(self.running) > 1:
+            # Degraded capacity: spill the newest requests back (same
+            # LIFO/never-oldest rule as KV eviction, same re-prefill cost).
+            self._evict(now_ns)
         while self._kv_after(self.running) > self.budget \
                 and len(self.running) > 1:
-            victim = self.running.pop()
-            victim.stats.evictions += 1
-            victim.prefill_pending = (victim.stats.prompt_len
-                                      + victim.emitted)
-            self.evictions += 1
-            self.waiting.insert(0, victim)
-            if self.on_evict is not None:
-                self.on_evict(victim, now_ns)
+            self._evict(now_ns)
         kv_now = self._kv_after(self.running)
         self.kv_bytes_now = kv_now
         if kv_now > self.peak_kv_bytes:
@@ -341,7 +520,36 @@ class ContinuousBatcher:
         for active in done_now:
             self.running.remove(active)
             self.finished.append(active)
+            if self.admission is not None:
+                self.admission.record(active.stats.finish_ns,
+                                      active.stats.ttft_ns)
         return done_now
+
+    # -- aborts ---------------------------------------------------------
+    def abort_request(self, rid: int, now_ns: float) -> bool:
+        """Retry-budget exhaustion: drop the request's KV cache and
+        requeue a full re-prefill at the back of the waiting queue.
+
+        Same progress guarantee as eviction — the oldest running request
+        is never aborted, so a retry storm cannot livelock the head of
+        the line.  Returns whether the abort happened.
+        """
+        for idx, active in enumerate(self.running):
+            if active.stats.rid != rid:
+                continue
+            if idx == 0:
+                return False
+            self.running.pop(idx)
+            tokens = active.stats.prompt_len + active.emitted
+            active.prefill_pending = tokens
+            active.stats.aborts += 1
+            self.aborts += 1
+            self.reprefill_tokens += tokens
+            self.waiting.append(active)
+            if self.on_abort is not None:
+                self.on_abort(active, now_ns)
+            return True
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -444,6 +652,13 @@ class ServingResult:
     iterations: int = 0
     evictions: int = 0
     peak_kv_bytes: int = 0
+    #: Requests rejected by admission control (never served).
+    shed: List[RequestStats] = field(default_factory=list)
+    aborts: int = 0
+    reprefill_tokens: int = 0
+    replans: int = 0
+    capacity_factor: float = 1.0
+    deferred_iterations: int = 0
 
     @property
     def makespan_ns(self) -> float:
@@ -471,6 +686,21 @@ class ServingResult:
 
     def mean_e2e_ns(self) -> float:
         return sum(s.e2e_ns for s in self.stats) / len(self.stats)
+
+    # -- SLO accounting -------------------------------------------------
+    def slo_attainment(self, slo_ttft_ns: float) -> float:
+        """Fraction of the *offered* stream finished with TTFT within the
+        SLO — shed requests count against attainment."""
+        offered = len(self.stats) + len(self.shed)
+        if not offered:
+            return 0.0
+        ok = sum(1 for s in self.stats if s.ttft_ns <= slo_ttft_ns)
+        return ok / offered
+
+    def good_tokens(self, slo_ttft_ns: float) -> int:
+        """Output tokens of requests that met the TTFT SLO."""
+        return sum(s.output_len for s in self.stats
+                   if s.ttft_ns <= slo_ttft_ns)
 
 
 def _exact_quantile(values: List[float], q: float) -> float:
@@ -505,6 +735,18 @@ def simulate_serving(system, spec: ServingSpec,
     batcher = ContinuousBatcher(spec, model, requests)
     session = system.session()
     sim = session.harness.sim
+    fault_state = session.fault_state
+    retry_budget: Optional[RequestRetryBudget] = None
+    if fault_state is not None:
+        # Faults fire mid-stream: replan the next iteration against the
+        # surviving capacity instead of stalling on the nominal plan.
+        def _replan() -> None:
+            batcher.degrade_capacity(fault_state.capacity_factor())
+        fault_state.on_degradation(_replan)
+        if spec.retry_budget is not None:
+            retry_budget = RequestRetryBudget(spec.retry_budget)
+            fault_state.retransmitter.add_retry_listener(
+                retry_budget.note_retry)
     tracer = current_tracer()
     metrics = current_metrics()
     ts = current_timeseries()
@@ -526,6 +768,36 @@ def simulate_serving(system, spec: ServingSpec,
             if ts.enabled:
                 ts.counter("serving.evictions").add(now_ns, 1)
         batcher.on_evict = _on_evict
+
+        def _on_shed(active: _Active, now_ns: float) -> None:
+            if reqlog.enabled:
+                rec = reqlog.get(active.stats.rid)
+                rec.event("shed", now_ns)
+                # Its whole lifetime was spent queued; pad and seal.
+                rec.close(now_ns, None, pad=True)
+            if ts.enabled:
+                ts.counter("serving.shed").add(now_ns, 1)
+        batcher.on_shed = _on_shed
+
+        def _on_abort(active: _Active, now_ns: float) -> None:
+            if reqlog.enabled:
+                reqlog.get(active.stats.rid).event("aborted", now_ns)
+            if ts.enabled:
+                ts.counter("serving.aborts").add(now_ns, 1)
+        batcher.on_abort = _on_abort
+    if session.fault_injector is not None:
+        def _serving_report() -> str:
+            head = ", ".join(
+                f"r{a.stats.rid}:{a.emitted}/{a.stats.output_len}"
+                for a in batcher.running[:4])
+            return (f"serving[iter={state['iterations']}"
+                    f" running={len(batcher.running)}"
+                    + (f" ({head})" if head else "")
+                    + f" waiting={len(batcher.waiting)}"
+                    f" future={len(batcher.future)}"
+                    f" finished={len(batcher.finished)}"
+                    f" shed={len(batcher.shed)}]")
+        session.fault_injector.add_watch_reporter(_serving_report)
 
     def record_finish(active: _Active, track_args: dict) -> None:
         s = active.stats
@@ -565,10 +837,14 @@ def simulate_serving(system, spec: ServingSpec,
         now = sim.now
         plan = batcher.plan_iteration(now)
         if not plan:
-            nxt = batcher.next_arrival_ns()
-            if nxt is None:
+            # Wake at the next arrival or — when admission gated us with
+            # nothing running — at the gate's next possible state change.
+            wakes = [t for t in (batcher.next_arrival_ns(),
+                                 batcher.admission_wake_ns(now))
+                     if t is not None]
+            if not wakes:
                 return                       # all requests finished
-            sim.schedule(max(nxt - now, 0.0), step)
+            sim.schedule(max(min(wakes) - now, 0.0), step)
             return
         state["iterations"] += 1
         if state["iterations"] > max_iterations:
@@ -615,6 +891,17 @@ def simulate_serving(system, spec: ServingSpec,
                                        "output": active.stats.output_len,
                                        "evictions":
                                            active.stats.evictions})
+                if retry_budget is not None:
+                    retry_budget.reset(active.stats.rid)
+            if retry_budget is not None:
+                # Charge this iteration's retransmissions to its surviving
+                # participants; over-budget requests are aborted to a full
+                # re-prefill rather than dragging the whole batch's tail.
+                over = retry_budget.settle(
+                    [a.stats.rid for a, _, _ in plan if not a.done])
+                for rid in over:
+                    if batcher.abort_request(rid, sim.now):
+                        retry_budget.reset(rid)
             step()
 
         session.runner.run_graph(graph, on_done=iteration_done)
@@ -631,19 +918,72 @@ def simulate_serving(system, spec: ServingSpec,
     partial = ServingResult(run=None, spec=spec, stats=stats,
                             iterations=state["iterations"],
                             evictions=batcher.evictions,
-                            peak_kv_bytes=batcher.peak_kv_bytes)
-    run = session.finish(
-        **{"serving.requests": float(len(stats)),
-           "serving.tokens": float(partial.total_output_tokens),
-           "serving.iterations": float(partial.iterations),
-           "serving.evictions": float(partial.evictions),
-           "serving.kv_peak_bytes": float(partial.peak_kv_bytes),
-           "serving.tokens_per_s":
-               (partial.total_output_tokens / sim.now * 1e9
-                if sim.now > 0 else 0.0),
-           "serving.ttft_mean_ns": partial.mean_ttft_ns(),
-           "serving.ttft_p95_ns": partial.ttft_quantile_ns(0.95),
-           "serving.tpot_mean_ns": partial.mean_tpot_ns(),
-           "serving.e2e_mean_ns": partial.mean_e2e_ns()})
+                            peak_kv_bytes=batcher.peak_kv_bytes,
+                            shed=sorted((a.stats for a in batcher.shed),
+                                        key=lambda s: s.rid),
+                            aborts=batcher.aborts,
+                            reprefill_tokens=batcher.reprefill_tokens,
+                            replans=batcher.replans,
+                            capacity_factor=batcher.capacity_factor,
+                            deferred_iterations=batcher.deferred_iterations)
+    details = {
+        "serving.requests": float(len(stats)),
+        "serving.tokens": float(partial.total_output_tokens),
+        "serving.iterations": float(partial.iterations),
+        "serving.evictions": float(partial.evictions),
+        "serving.kv_peak_bytes": float(partial.peak_kv_bytes),
+        "serving.tokens_per_s":
+            (partial.total_output_tokens / sim.now * 1e9
+             if sim.now > 0 else 0.0),
+        "serving.ttft_mean_ns": partial.mean_ttft_ns(),
+        "serving.ttft_p95_ns": partial.ttft_quantile_ns(0.95),
+        "serving.tpot_mean_ns": partial.mean_tpot_ns(),
+        "serving.e2e_mean_ns": partial.mean_e2e_ns(),
+    }
+    # Resilience details are gated on the mechanisms that produce them so
+    # fault-free runs (fig20) stay byte-identical.
+    if batcher.admission is not None:
+        details["serving.shed"] = float(len(partial.shed))
+        details["serving.admission_breaches"] = \
+            float(batcher.admission.breaches)
+        details["serving.admission_resumes"] = \
+            float(batcher.admission.resumes)
+        details["serving.deferred_iterations"] = \
+            float(partial.deferred_iterations)
+    if retry_budget is not None:
+        details["serving.aborts"] = float(partial.aborts)
+        details["serving.reprefill_tokens"] = \
+            float(partial.reprefill_tokens)
+    if spec.slo_ttft_ms is not None:
+        slo_ns = spec.slo_ttft_ms * 1e6
+        details["serving.slo_attainment"] = partial.slo_attainment(slo_ns)
+        details["serving.goodput_tokens_per_s"] = \
+            (partial.good_tokens(slo_ns) / sim.now * 1e9
+             if sim.now > 0 else 0.0)
+    if fault_state is not None:
+        details["serving.capacity_factor"] = batcher.capacity_factor
+        details["serving.replans"] = float(partial.replans)
+        spans = (session.fault_schedule.windows()
+                 if session.fault_schedule is not None else [])
+
+        def _degraded(s: RequestStats) -> bool:
+            # A request is degraded iff its lifetime overlaps any fault's
+            # active span (permanent faults stay active to the end).
+            return any(s.finish_ns >= start
+                       and (end is None or s.arrival_ns <= end)
+                       for start, end in spans)
+
+        clean = [s for s in stats if not _degraded(s)]
+        degraded = [s for s in stats if _degraded(s)]
+        details["serving.degraded_requests"] = float(len(degraded))
+        details["serving.ttft_p95_clean_ns"] = _exact_quantile(
+            [s.ttft_ns for s in clean], 0.95)
+        details["serving.ttft_p95_degraded_ns"] = _exact_quantile(
+            [s.ttft_ns for s in degraded], 0.95)
+        details["serving.tpot_p95_clean_ns"] = _exact_quantile(
+            [s.tpot_ns for s in clean if s.output_len > 1], 0.95)
+        details["serving.tpot_p95_degraded_ns"] = _exact_quantile(
+            [s.tpot_ns for s in degraded if s.output_len > 1], 0.95)
+    run = session.finish(**details)
     partial.run = run
     return partial

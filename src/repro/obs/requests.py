@@ -164,8 +164,20 @@ class RequestRecord:
             self.evictions += 1
 
     def close(self, finish_ns: float,
-              first_token_ns: Optional[float]) -> None:
-        """Seal the record; the phases must have reached ``finish_ns``."""
+              first_token_ns: Optional[float],
+              pad: bool = False) -> None:
+        """Seal the record; the phases must have reached ``finish_ns``.
+
+        ``pad=True`` fills any remaining tail with a ``queue`` phase
+        first — for requests terminated *outside* an execution phase
+        (shed by admission control, aborted over retry budget), whose
+        timeline legitimately ends waiting.
+        """
+        if pad and finish_ns > self._cursor + _EPS_NS:
+            gap = finish_ns - self._cursor
+            self.phases.append(Phase(PHASE_QUEUE, self._cursor, finish_ns,
+                                     categories={"queue": gap}))
+            self._cursor = finish_ns
         if abs(finish_ns - self._cursor) > _EPS_NS:
             raise ValueError(
                 f"request {self.rid}: closed at {finish_ns} but phases "

@@ -69,6 +69,21 @@ class Session:
         self.harness = harness
         self.runner = runner
 
+    # Fault plumbing for in-simulation drivers (the serving loop reacts
+    # to degradation and retry pressure mid-stream): None when the
+    # config has faults disabled.
+    @property
+    def fault_state(self):
+        return self.harness.fault_state
+
+    @property
+    def fault_injector(self):
+        return self.harness.fault_injector
+
+    @property
+    def fault_schedule(self):
+        return self.harness.fault_schedule
+
     def finish(self, **details) -> RunResult:
         self.harness.workload_complete()
         return self.harness.result(self.name, **details)

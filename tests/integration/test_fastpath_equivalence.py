@@ -183,6 +183,72 @@ def test_faulted_run_preserves_observables(layer_workload, layer):
     assert fast.details.get("fastpath.kernel_conflicts", 0.0) == 0.0
 
 
+@pytest.mark.parametrize("layer", sorted(LAYER_CONFIGS))
+def test_faulted_serving_run_preserves_observables(layer):
+    """fig21-style faulted serving: the whole resilience stack — drop
+    storms with retransmission, retry-budget aborts, SLO-aware shedding
+    — must be invisible to the fast path: every per-request stat and
+    every non-fastpath detail is exact-float-equal with --no-fastpath."""
+    from repro.common.config import FaultSpec
+    from repro.llm.models import ModelConfig
+    from repro.llm.serving import ServingSpec, simulate_serving
+
+    tiny = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                       seq_len=64, batch=4, layers=4)
+    spec = ServingSpec(model="tiny", seed=5, arrival_rate_rps=100_000.0,
+                       horizon_ms=0.05, prompt_min=8, prompt_max=24,
+                       output_min=1, output_max=3, max_batch_requests=4,
+                       admission_policy="shed", slo_ttft_ms=0.001,
+                       retry_budget=1)
+
+    def serve():
+        cfg = dgx_h100_config(num_gpus=4, seed=1).with_faults(FaultSpec(
+            enabled=True, intensity=1.0, fault_seed=5, msg_drop_rate=0.3))
+        system = make_system("CAIS", cfg, tiling=TILING)
+        return simulate_serving(system, spec, model=tiny, style="sp")
+
+    with fastpath.overridden(fastpath.DISABLED):
+        ref = serve()
+    with fastpath.overridden(LAYER_CONFIGS[layer]):
+        fast = serve()
+    assert fast.run.makespan_ns == ref.run.makespan_ns
+    assert fast.stats == ref.stats
+    assert [s.rid for s in fast.shed] == [s.rid for s in ref.shed]
+    assert (fast.aborts, fast.reprefill_tokens, fast.iterations) == \
+        (ref.aborts, ref.reprefill_tokens, ref.iterations)
+    strip = lambda d: {k: v for k, v in d.items()
+                       if not k.startswith("fastpath.")}
+    assert strip(fast.run.details) == strip(ref.run.details)
+    # The recipe must actually exercise the resilience stack (aborts are
+    # covered by the serving-invariant property tests; with this tight an
+    # SLO most of the stream sheds before it can run long enough to
+    # exhaust a retry budget).
+    assert ref.shed
+    assert ref.run.details["faults.retries"] > 0
+
+
+def test_faulted_serving_disabled_run_carries_no_fastpath_details():
+    """--no-fastpath byte-identity extends to faulted serving: with every
+    layer off the result details carry no ``fastpath.*`` keys."""
+    from repro.common.config import FaultSpec
+    from repro.llm.models import ModelConfig
+    from repro.llm.serving import ServingSpec, simulate_serving
+
+    tiny = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                       seq_len=64, batch=4, layers=4)
+    spec = ServingSpec(model="tiny", seed=5, arrival_rate_rps=100_000.0,
+                       horizon_ms=0.05, prompt_min=8, prompt_max=24,
+                       output_min=1, output_max=3, max_batch_requests=4,
+                       admission_policy="shed", slo_ttft_ms=0.001,
+                       retry_budget=1)
+    cfg = dgx_h100_config(num_gpus=4, seed=1).with_faults(FaultSpec(
+        enabled=True, intensity=1.0, fault_seed=5, msg_drop_rate=0.3))
+    with fastpath.overridden(fastpath.DISABLED):
+        res = simulate_serving(make_system("CAIS", cfg, tiling=TILING),
+                               spec, model=tiny, style="sp")
+    assert not any(k.startswith("fastpath.") for k in res.run.details)
+
+
 def test_disabled_runs_carry_no_fastpath_details(layer_workload):
     """Byte-identity of the baseline: with every layer off, the result
     details contain no ``fastpath.*`` keys at all (a run is

@@ -25,7 +25,7 @@ from dataclasses import replace
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.config import dgx_h100_config
+from repro.common.config import FaultSpec, dgx_h100_config
 from repro.llm.models import ModelConfig
 from repro.llm.serving import (
     ServingSpec,
@@ -173,6 +173,72 @@ def test_higher_arrival_rate_never_decreases_makespan(seed, low, high):
     sparse_ns = serve("TP-NVLS", burst_spec(seed, low)).makespan_ns
     dense_ns = serve("TP-NVLS", burst_spec(seed, high)).makespan_ns
     assert dense_ns >= sparse_ns * (1 - 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Faults: retry-budget exhaustion -> abort -> re-prefill conservation
+#
+# Under a drop storm the retransmitter charges every retry to the live
+# iteration's participants; a request over its budget is aborted — KV
+# dropped, full re-prefill requeued — instead of dragging the batch's
+# tail.  The invariant is that aborts *never* lose tokens: every request
+# still finishes with exactly its sampled output length, and the
+# re-prefill accounting reflects the replayed work.
+# ---------------------------------------------------------------------------
+
+def faulted_serve(system: str, seed: int, budget: int,
+                  intensity: float = 1.0):
+    spec = tiny_spec(seed, retry_budget=budget)
+    # Drop storm: a message-loss rate far past the default 2% makes the
+    # retransmitter charge every iteration, so a tight budget aborts.
+    config = dgx_h100_config(num_gpus=4, seed=1).with_faults(
+        FaultSpec(enabled=True, intensity=intensity, fault_seed=seed,
+                  msg_drop_rate=0.3))
+    return spec, serve(system, spec, config=config)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_retry_budget_aborts_conserve_tokens(seed):
+    # CAIS: its merge-fabric messages are the droppable ones, so the drop
+    # storm reliably exercises retransmission inside the serving loop.
+    # Budget 1: the first settled retry charge already exceeds it.
+    spec, result = faulted_serve("CAIS", seed=seed, budget=1)
+    requests = {r.rid: r for r in generate_requests(spec)}
+    assert result.aborts > 0
+    assert result.run.details["serving.aborts"] == result.aborts
+    # Conservation: nothing is shed (no admission policy), every request
+    # finishes with its full sampled output despite the aborts.
+    assert not result.shed
+    assert len(result.stats) == len(requests)
+    for s in result.stats:
+        r = requests[s.rid]
+        assert (s.prompt_len, s.output_len) == (r.prompt_len, r.output_len)
+        assert r.arrival_ns <= s.first_token_ns <= s.finish_ns
+    assert result.total_output_tokens == sum(
+        r.output_len for r in requests.values())
+    # Each abort replays at least the victim's prompt (plus any emitted
+    # tokens), and the per-request abort counts add up to the total.
+    aborted = [s for s in result.stats if s.aborts]
+    assert sum(s.aborts for s in aborted) == result.aborts
+    assert result.reprefill_tokens >= sum(
+        s.prompt_len for s in aborted)
+    assert result.run.details["serving.reprefill_tokens"] == \
+        result.reprefill_tokens
+
+
+def test_retry_budget_runs_are_deterministic():
+    _, a = faulted_serve("CAIS", seed=5, budget=1)
+    _, b = faulted_serve("CAIS", seed=5, budget=1)
+    assert a.stats == b.stats
+    assert a.aborts == b.aborts
+    assert a.run.details == b.run.details
+
+
+def test_larger_budget_never_increases_aborts():
+    _, tight = faulted_serve("CAIS", seed=5, budget=1)
+    _, loose = faulted_serve("CAIS", seed=5, budget=10 ** 6)
+    assert tight.aborts > 0
+    assert loose.aborts == 0
 
 
 @settings(max_examples=40, deadline=None)

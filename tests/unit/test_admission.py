@@ -1,0 +1,285 @@
+"""Unit tests for SLO-aware admission control and degraded-mode serving.
+
+Covers the :class:`~repro.llm.serving.AdmissionController` hysteresis
+contract (breach -> gate closes, recovery below the resume threshold ->
+gate reopens, empty window reads as recovered), the batcher-level
+degradation hooks (capacity clamping, abort-to-re-prefill), the
+ServingSpec validation convention, and the end-to-end properties the
+resilience figure depends on: shed/defer policies stay deterministic
+across repeated runs, defer never loses a request, and shedding only
+ever rejects requests with no sunk work.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.errors import WorkloadError
+from repro.llm.models import ModelConfig
+from repro.llm.serving import (
+    AdmissionController,
+    ContinuousBatcher,
+    Request,
+    ServingSpec,
+    generate_requests,
+    simulate_serving,
+)
+from repro.llm.tiling import TilingConfig
+from repro.systems import make_system
+
+TINY = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                   seq_len=64, batch=4, layers=4)
+TILING = TilingConfig(tile=32, chunk_bytes=32768, red_chunk_bytes=8192)
+STYLES = {"TP-NVLS": "basic", "SP-NVLS": "sp", "CAIS": "sp"}
+
+
+def tiny_spec(seed: int, **overrides) -> ServingSpec:
+    base = dict(model="tiny", seed=seed,
+                arrival_rate_rps=100_000.0,
+                max_arrival_rate_rps=200_000.0,
+                horizon_ms=0.05, prompt_min=8, prompt_max=24,
+                output_min=1, output_max=3, max_batch_requests=4)
+    base.update(overrides)
+    return ServingSpec(**base)
+
+
+def serve(system_name: str, spec: ServingSpec, tp: int = 4):
+    config = dgx_h100_config(num_gpus=tp, seed=1)
+    system = make_system(system_name, config, tiling=TILING, jitter=False)
+    return simulate_serving(system, spec, model=TINY,
+                            style=STYLES[system_name])
+
+
+# ----------------------------------------------------------------------
+# AdmissionController hysteresis
+# ----------------------------------------------------------------------
+def controller(slo=100.0, window=1000.0, resume=0.5):
+    return AdmissionController(slo_ttft_ns=slo, window_ns=window,
+                               resume_fraction=resume)
+
+
+def test_gate_opens_until_p95_breaches():
+    ctl = controller()
+    assert not ctl.update(0.0)                   # empty window: open
+    ctl.record(finish_ns=10.0, ttft_ns=90.0)     # within SLO
+    assert not ctl.update(20.0)
+    ctl.record(finish_ns=30.0, ttft_ns=500.0)    # p95 jumps past 100
+    assert ctl.update(40.0)
+    assert ctl.breaches == 1 and ctl.resumes == 0
+
+
+def test_gate_holds_between_resume_and_slo():
+    """Hysteresis: a p95 back under the SLO but above resume_fraction *
+    SLO keeps the gate closed — no flapping at the target."""
+    ctl = controller(slo=100.0, window=1000.0, resume=0.5)
+    ctl.record(10.0, 500.0)
+    assert ctl.update(20.0)                      # breached
+    ctl.record(30.0, 80.0)                       # p95 now 500 -> still gated
+    ctl.record(40.0, 80.0)
+    ctl.record(50.0, 80.0)
+    # Slide the window past the 500 ns sample: p95 becomes 80, which is
+    # below the SLO but above resume (50) — the gate must stay closed...
+    assert ctl.update(1015.0)
+    assert ctl.gated
+    # ...until the samples age out entirely (empty window -> p95 = 0).
+    assert not ctl.update(1100.0)
+    assert ctl.resumes == 1
+
+
+def test_gate_reopens_below_resume_threshold():
+    ctl = controller(slo=100.0, window=1000.0, resume=0.8)
+    ctl.record(10.0, 500.0)
+    assert ctl.update(20.0)
+    for t in range(30, 90, 10):                  # bury the spike in fast
+        ctl.record(float(t), 10.0)               # completions
+    # Window still holds the 500 sample at t=100 (p95 = 500, gated)...
+    assert ctl.update(100.0)
+    # ...but once it expires, p95 = 10 <= 80 reopens the gate.
+    assert not ctl.update(1015.0)
+    assert ctl.breaches == 1 and ctl.resumes == 1
+
+
+def test_empty_window_always_reopens():
+    """Liveness: with no completions inside the window the controller
+    must read p95 = 0 and open the gate, whatever closed it."""
+    ctl = controller()
+    ctl.record(10.0, 1e9)
+    assert ctl.update(20.0)
+    assert not ctl.update(2000.0)                # sample aged out
+    assert ctl.windowed_p95_ns(2000.0) == 0.0
+
+
+def test_next_expiry_tracks_oldest_sample():
+    ctl = controller(window=1000.0)
+    assert ctl.next_expiry_ns(0.0) is None
+    ctl.record(10.0, 50.0)
+    ctl.record(200.0, 50.0)
+    assert ctl.next_expiry_ns(100.0) == 10.0 + 1000.0
+    # Past the first expiry the second sample is the oldest.
+    assert ctl.next_expiry_ns(1050.0) == 200.0 + 1000.0
+    # Once every sample has aged out there is nothing to wake for.
+    assert ctl.next_expiry_ns(1500.0) is None
+
+
+# ----------------------------------------------------------------------
+# Batcher degradation hooks
+# ----------------------------------------------------------------------
+def batcher_with(requests, **spec_overrides):
+    spec = tiny_spec(0, **spec_overrides)
+    return ContinuousBatcher(spec, TINY, requests)
+
+
+def reqs(n, prompt=8, output=2, gap_ns=100.0):
+    return [Request(rid=i, arrival_ns=i * gap_ns, prompt_len=prompt,
+                    output_len=output) for i in range(n)]
+
+
+def test_degrade_capacity_clamps_batch_and_counts_replans():
+    b = batcher_with(reqs(4), max_batch_requests=8)
+    assert b.effective_max_batch() == 8
+    b.degrade_capacity(0.5)
+    assert b.effective_max_batch() == 4
+    assert b.replans == 1
+    b.degrade_capacity(0.5)                      # no change: no replan
+    assert b.replans == 1
+    b.degrade_capacity(0.0)                      # floor: never below one
+    assert b.effective_max_batch() == 1
+    b.degrade_capacity(1.0)                      # recovery counts too
+    assert b.effective_max_batch() == 8
+    assert b.replans == 3
+
+
+def test_degraded_capacity_evicts_overflow_but_never_oldest():
+    b = batcher_with(reqs(4, gap_ns=0.0), max_batch_requests=4)
+    plan = b.plan_iteration(0.0)
+    assert len(plan) == 4
+    b.degrade_capacity(0.25)                     # survivors: 1 slot
+    plan = b.plan_iteration(1.0)
+    assert len(plan) == 1
+    assert plan[0][0].stats.rid == 0             # oldest kept running
+    assert b.evictions == 3
+    # Evicted requests requeue with full re-prefill state.
+    assert all(a.prefill_pending == a.stats.prompt_len for a in b.waiting)
+
+
+def test_abort_requeues_with_reprefill_accounting():
+    b = batcher_with(reqs(3, gap_ns=0.0), max_batch_requests=4)
+    b.plan_iteration(0.0)
+    b.commit(b.plan_iteration(0.0), end_ns=10.0)  # warm KV, 1 token each
+    victim = b.running[2]
+    assert b.abort_request(victim.stats.rid, now_ns=20.0)
+    assert victim in b.waiting
+    assert victim.stats.aborts == 1
+    assert b.aborts == 1
+    # Re-prefill must replay prompt + tokens emitted so far.
+    expected = victim.stats.prompt_len + victim.emitted
+    assert victim.prefill_pending == expected
+    assert b.reprefill_tokens == expected
+
+
+def test_abort_never_touches_oldest_or_unknown():
+    b = batcher_with(reqs(2, gap_ns=0.0), max_batch_requests=4)
+    b.plan_iteration(0.0)
+    head = b.running[0].stats.rid
+    assert not b.abort_request(head, now_ns=1.0)   # progress guarantee
+    assert not b.abort_request(999, now_ns=1.0)    # not running
+    assert b.aborts == 0 and not b.waiting
+
+
+def test_shed_only_rejects_fresh_requests():
+    b = batcher_with(reqs(3, gap_ns=0.0), max_batch_requests=4)
+    b.release_arrivals(0.0)
+    b.waiting[1].stats.evictions = 1             # sunk work: protected
+    b.waiting[2].emitted = 1
+    b._shed_fresh_waiting(5.0)
+    assert [a.stats.rid for a in b.shed] == [0]
+    assert [a.stats.rid for a in b.waiting] == [1, 2]
+    assert b.shed[0].stats.shed
+    assert b.shed[0].stats.finish_ns == 5.0
+
+
+# ----------------------------------------------------------------------
+# ServingSpec validation convention (FaultSpec-style messages)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("field,value", [
+    ("arrival_rate_rps", 0.0),
+    ("horizon_ms", -1.0),
+    ("prompt_min", 0),
+    ("output_min", 0),
+    ("max_batch_requests", 0),
+    ("admission_policy", "drop"),
+    ("admission_window_ms", 0.0),
+    ("resume_fraction", 1.5),
+    ("retry_budget", 0),
+])
+def test_serving_spec_validation_names_offending_field(field, value):
+    overrides = {field: value}
+    if field in ("admission_window_ms", "resume_fraction"):
+        overrides.update(admission_policy="shed", slo_ttft_ms=1.0)
+    with pytest.raises(WorkloadError) as err:
+        tiny_spec(0, **overrides)
+    # FaultSpec convention: the message names the offending field (range
+    # checks name the pair, e.g. prompt_min..prompt_max) and its value.
+    assert f"ServingSpec.{field}" in str(err.value)
+    assert repr(value) in str(err.value)
+
+
+def test_admission_policy_requires_slo_target():
+    with pytest.raises(WorkloadError) as err:
+        tiny_spec(0, admission_policy="shed")
+    assert "ServingSpec.slo_ttft_ms" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: deterministic shedding, defer liveness
+# ----------------------------------------------------------------------
+def shed_spec(seed: int, policy: str = "shed") -> ServingSpec:
+    # SLO far below any real TTFT: the gate closes after the first
+    # completion lands, so the policy under test definitely engages.
+    return tiny_spec(seed, admission_policy=policy, slo_ttft_ms=1e-5,
+                     admission_window_ms=1e-3)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_shed_policy_is_deterministic_across_runs(seed):
+    spec = shed_spec(seed)
+    a = serve("CAIS", spec)
+    b = serve("CAIS", spec)
+    assert a.shed and a.run.details["serving.shed"] > 0
+    assert [s.rid for s in a.shed] == [s.rid for s in b.shed]
+    assert a.stats == b.stats
+    assert a.makespan_ns == b.makespan_ns
+    assert a.run.details == b.run.details
+
+
+def test_shed_requests_count_against_attainment():
+    res = serve("TP-NVLS", shed_spec(2))
+    offered = len(res.stats) + len(res.shed)
+    assert offered == len(generate_requests(shed_spec(2)))
+    slo_ns = shed_spec(2).slo_ttft_ms * 1e6
+    assert res.slo_attainment(slo_ns) <= len(res.stats) / offered
+    for s in res.shed:                           # shed: never served
+        assert s.first_token_ns is None and s.shed
+
+
+def test_defer_policy_serves_every_request():
+    """Defer gates admission but never rejects: the run must still
+    complete with every generated request fully served."""
+    spec = shed_spec(3, policy="defer")
+    res = serve("TP-NVLS", spec)
+    requests = generate_requests(spec)
+    assert not res.shed
+    assert len(res.stats) == len(requests)
+    assert res.total_output_tokens == sum(r.output_len for r in requests)
+    assert res.deferred_iterations > 0
+    assert res.run.details["serving.deferred_iterations"] > 0
+
+
+def test_inert_spec_matches_pre_resilience_details():
+    """With admission off and no retry budget the result must carry none
+    of the resilience detail keys — byte-identity with older runs."""
+    res = serve("TP-NVLS", tiny_spec(1))
+    for key in ("serving.shed", "serving.aborts", "serving.replans",
+                "serving.slo_attainment", "serving.capacity_factor"):
+        assert key not in res.run.details

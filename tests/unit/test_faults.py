@@ -158,6 +158,54 @@ def test_watchdog_reports_outstanding_work_on_stall():
     assert "gpu 0: 7 busy TBs" in str(err.value)
 
 
+def test_watchdog_extra_reporters_extend_trip_report():
+    """Workload-level reporters (the serving loop's request queues) ride
+    along with the simulator's own outstanding-work report."""
+    sim = Simulator()
+    sim.register_work_reporter(lambda: "gpu 0: 7 busy TBs")
+    dog = Watchdog(sim, interval_ns=100.0, strikes=3,
+                   counters=FaultCounters())
+    dog.add_reporter(lambda: "serving[iter=3 running=2]")
+    dog.add_reporter(lambda: "")                 # empty lines are elided
+    dog.arm()
+    sim.schedule(1e9, lambda: None)
+    with pytest.raises(DeadlockError) as err:
+        sim.run()
+    assert "gpu 0: 7 busy TBs" in str(err.value)
+    assert "serving[iter=3 running=2]" in str(err.value)
+
+
+def test_serving_watchdog_reports_request_queues():
+    """End to end: a total drop storm stalls a live serving run, and the
+    watchdog trip must name the batcher's queues (which requests were
+    running/waiting and how far along), not just outstanding ops."""
+    from repro.llm.models import ModelConfig
+    from repro.llm.serving import ServingSpec, simulate_serving
+    from repro.llm.tiling import TilingConfig
+    from repro.systems import make_system
+
+    tiny = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                       seq_len=64, batch=4, layers=4)
+    spec = ServingSpec(model="tiny", seed=0, arrival_rate_rps=100_000.0,
+                       horizon_ms=0.05, prompt_min=8, prompt_max=24,
+                       output_min=1, output_max=3, max_batch_requests=4)
+    # Every droppable message is lost and the first ack deadline sits far
+    # past the watchdog's patience: progress stops with work outstanding.
+    cfg = dgx_h100_config(num_gpus=4, seed=1).with_faults(FaultSpec(
+        enabled=True, intensity=1.0, msg_drop_rate=1.0,
+        ack_timeout_ns=1e9, max_backoff_ns=1e9,
+        watchdog_interval_ns=1e6, watchdog_strikes=3))
+    system = make_system("CAIS", cfg,
+                         tiling=TilingConfig(tile=32, chunk_bytes=32768,
+                                             red_chunk_bytes=8192),
+                         jitter=False)
+    with pytest.raises(DeadlockError) as err:
+        simulate_serving(system, spec, model=tiny, style="sp")
+    report = str(err.value)
+    assert "serving[iter=" in report
+    assert "running=" in report and "waiting=" in report
+
+
 def test_watchdog_disarm_lets_queue_drain():
     sim = Simulator()
     dog = Watchdog(sim, interval_ns=100.0, strikes=3,
@@ -217,3 +265,37 @@ def test_nvls_failure_notifies_listeners_once_per_unit():
     assert state.nvls_faulted
     assert len(fired) == 2
     assert state.counters.get("nvls_unit_failures") == 2
+
+
+# ----------------------------------------------------------------------
+# Degraded-capacity accounting (workload-level replanning signal)
+# ----------------------------------------------------------------------
+def test_capacity_factor_tracks_plane_deaths():
+    sim = Simulator()
+    state = FaultState(sim, FaultSpec(enabled=True))
+    state.planes_total = 4
+    seen = []
+    state.on_degradation(lambda: seen.append(state.capacity_factor()))
+    assert state.capacity_factor() == 1.0
+    state.plane_failed(1)
+    state.plane_failed(3)
+    assert state.capacity_factor() == 0.5
+    assert seen == [0.75, 0.5]
+    assert state.counters.get("plane_failures") == 2
+
+
+def test_capacity_factor_caps_at_nvls_fallback():
+    from repro.faults.injector import NVLS_FALLBACK_CAPACITY
+
+    sim = Simulator()
+    state = FaultState(sim, FaultSpec(enabled=True))
+    state.planes_total = 4
+    state.nvls_unit_failed(0)
+    # One dead compute unit does not remove a plane, but the ring
+    # fallback caps effective collective capacity.
+    assert state.capacity_factor() == NVLS_FALLBACK_CAPACITY
+    state.plane_failed(0)
+    state.plane_failed(1)
+    state.plane_failed(2)
+    # Plane losses below the cap win once they are the tighter bound.
+    assert state.capacity_factor() == 0.25

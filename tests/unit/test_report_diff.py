@@ -30,6 +30,8 @@ def _window(index: int, **over):
         "iterations": 5.0,
         "completions": 2.0,
         "evictions": 0.0,
+        "sheds": 0.0,
+        "aborts": 0.0,
         "retries": 0.0,
         "kv_peak_bytes": 1e6,
         "batch_peak": 4.0,
@@ -49,6 +51,7 @@ def _report(**over):
                 "fault_intensity": 0.0, "workload": "serving"},
         "summary": {
             "requests": 4, "tokens": 20, "iterations": 10, "evictions": 0,
+            "shed": 0, "aborts": 0,
             "kv_peak_bytes": 1e6, "makespan_ns": 200_000.0,
             "tokens_per_s": 1e5,
             "ttft_ns": _tail(2e6), "tpot_ns": _tail(5e5),

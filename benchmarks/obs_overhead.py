@@ -16,6 +16,12 @@ both sides on two workloads:
   ``repro report`` stack that adds the PR-4 CausalityRecorder.  The
   causality DAG records every transfer/merge node and carries its own
   (pre-existing) cost; the <5% budget covers what *this* layer adds.
+* ``--workload matrix``   — a ``run_matrix`` sweep with the full
+  harness-telemetry stack (run ledger + progress board + meta-trace)
+  against the bare runner.  The telemetry lives entirely outside the
+  simulation, so beyond the <5% wall budget this mode asserts the
+  summaries are *identical* (same makespans, same event counts) with
+  telemetry on and off — the zero-event contract at matrix scale.
 
 In both modes the **disabled** configuration runs with the null sinks
 installed (the default); the serving mode additionally checks the
@@ -29,12 +35,19 @@ Run:  PYTHONPATH=src python benchmarks/obs_overhead.py \\
 """
 
 import argparse
+import contextlib
+import io
+import os
 import statistics
 import sys
+import tempfile
 import time
 
 from repro import obs
 from repro.common.config import dgx_h100_config
+from repro.experiments.parallel import ExecContext, SimTask, run_matrix
+from repro.experiments.runner import Scale
+from repro.llm.graph import CommKind, GemmShape, Graph, LogicalOp, OpKind
 from repro.llm.models import LLAMA_7B, ModelConfig
 from repro.llm.serving import ServingSpec, simulate_serving
 from repro.llm.tiling import TilingConfig
@@ -98,9 +111,57 @@ def serving_run(mode: str):
         obs.reset()
 
 
+#: Matrix-mode sweep: a handful of tiny distinct tasks, all misses
+#: (no cache), so every repetition simulates the same work and the
+#: telemetry cost is the only difference between configurations.
+MATRIX_TASKS = 8
+
+
+def _matrix_tasks():
+    scale = Scale(tokens_fraction=1.0, tiling=TILING)
+    tasks = []
+    for seed in range(MATRIX_TASKS):
+        g = Graph("bench-matrix")
+        g.add(LogicalOp(name="gemm0", kind=OpKind.GEMM,
+                        gemm=GemmShape(256, 256, 256)))
+        g.add(LogicalOp(name="ar0", kind=OpKind.COMM, deps=("gemm0",),
+                        comm=CommKind.ALL_REDUCE, comm_bytes=1 << 16))
+        tasks.append(SimTask(system="TP-NVLS", graphs=(g,),
+                             config=dgx_h100_config(seed=seed),
+                             scale=scale))
+    return tasks
+
+
+def matrix_run(telemetry: bool, workdir: str):
+    """(wall seconds, summary identity) for one telemetry-on/off sweep.
+
+    The identity is the tuple of (makespan, events) per task — what the
+    zero-event contract requires to be independent of telemetry.
+    """
+    tasks = _matrix_tasks()
+    if telemetry:
+        os.environ[obs.LEDGER_ENV] = os.path.join(workdir, "ledger")
+        ctx = ExecContext(jobs=1, progress=True,
+                          meta_trace=os.path.join(workdir, "meta.json"))
+    else:
+        os.environ.pop(obs.LEDGER_ENV, None)
+        ctx = ExecContext(jobs=1)
+    try:
+        t0 = time.perf_counter()
+        # The board writes to stderr; capture it so the benchmark's own
+        # output stays readable (the writes are still paid for).
+        with contextlib.redirect_stderr(io.StringIO()):
+            out = run_matrix(tasks, ctx)
+        wall = time.perf_counter() - t0
+        return wall, tuple((s.makespan_ns, s.events) for s in out)
+    finally:
+        os.environ.pop(obs.LEDGER_ENV, None)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workload", choices=("sublayer", "serving"),
+    parser.add_argument("--workload",
+                        choices=("sublayer", "serving", "matrix"),
                         default="sublayer")
     parser.add_argument("--repeat", type=int, default=3,
                         help="timed repetitions per configuration")
@@ -123,6 +184,40 @@ def main() -> int:
               "only\nobservability cost is one attribute read per guarded "
               "site.")
         return 0
+
+    if args.workload == "matrix":
+        with tempfile.TemporaryDirectory() as workdir:
+            matrix_run(False, workdir)       # warm imports and caches
+            base = [matrix_run(False, workdir)
+                    for _ in range(args.repeat)]
+            # A fresh ledger subdir per repetition keeps append cost flat.
+            full = [matrix_run(True, os.path.join(workdir, str(i)))
+                    for i in range(args.repeat)]
+        d = statistics.median(w for w, _ in base)
+        e = statistics.median(w for w, _ in full)
+        overhead = (e / d - 1) * 100
+        print(f"matrix ({MATRIX_TASKS} tasks), telemetry off: "
+              f"{d * 1e3:8.1f} ms  (median of {args.repeat}: "
+              f"{[f'{w * 1e3:.1f}' for w, _ in base]})")
+        print(f"matrix, ledger+board+meta-trace:  {e * 1e3:8.1f} ms  "
+              f"(median of {args.repeat}: "
+              f"{[f'{w * 1e3:.1f}' for w, _ in full]})")
+        print(f"harness-telemetry overhead:       {overhead:+8.1f} %"
+              f"  (budget {args.budget:g} %)")
+        failures = 0
+        outcomes = {key for _, key in base} | {key for _, key in full}
+        if len(outcomes) != 1:
+            print("FAIL: telemetry perturbed the simulations — distinct "
+                  f"(makespan, events) sets: {len(outcomes)}")
+            failures += 1
+        else:
+            print("simulations identical with telemetry on and off "
+                  "(zero-event contract holds)")
+        if overhead > args.budget:
+            print(f"FAIL: telemetry overhead {overhead:+.1f} % exceeds "
+                  f"the {args.budget:g} % budget")
+            failures += 1
+        return 1 if failures else 0
 
     serving_run("disabled")                  # warm imports and caches
     base = [serving_run("disabled") for _ in range(args.repeat)]

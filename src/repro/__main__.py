@@ -10,6 +10,8 @@ Usage::
     python -m repro explain --workload L2 --systems CAIS TP-NVLS
     python -m repro report --faults --json faulted.json
     python -m repro diff clean.json faulted.json
+    python -m repro ledger query --system CAIS
+    python -m repro cache --gc
     python -m repro --list
 
 The experiment harness (``python -m repro.experiments``) regenerates the
@@ -27,6 +29,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import time
 
 from . import obs
 from .common import fastpath
@@ -59,6 +62,16 @@ def main(argv=None) -> int:
         # (repro.experiments.diff).
         from .experiments.diff import main as diff_main
         return diff_main(argv[1:])
+    if argv and argv[0] == "ledger":
+        # Subcommand: query/summarize/regress the cross-run ledger
+        # (repro.experiments.ledger).
+        from .experiments.ledger import main as ledger_main
+        return ledger_main(argv[1:])
+    if argv and argv[0] == "cache":
+        # Subcommand: inspect/garbage-collect the simulation cache
+        # (repro.experiments.cache).
+        from .experiments.cache import main as cache_main
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro")
     parser.add_argument("--list", action="store_true",
                         help="list systems and models, then exit")
@@ -91,6 +104,11 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print a host-time hotspot profile of the "
                              "simulator's event loop")
+    parser.add_argument("--ledger", nargs="?", const=".repro_ledger",
+                        default=None, metavar="DIR",
+                        help="append this run's record to the cross-run "
+                             "ledger (default when given bare: %(const)s; "
+                             "see `python -m repro ledger`)")
     parser.add_argument("--faults", action="store_true",
                         help="inject a deterministic fault schedule into "
                              "the run (retries/fallbacks appear in the "
@@ -150,6 +168,9 @@ def main(argv=None) -> int:
     model = scale.apply(by_name(args.model))
     system = make_system(args.system, config, tiling=scale.tiling)
     try:
+        run_started = time.perf_counter()
+        spec = None
+        graphs = []
         if args.workload == "serving":
             from .experiments.fig20_serving import spec_for
             from .experiments.runner import style_for
@@ -189,7 +210,21 @@ def main(argv=None) -> int:
                 graphs = [sublayer_for(model, args.gpus, args.system,
                                        args.workload)]
             result = system.run(graphs)
+        run_wall_ms = (time.perf_counter() - run_started) * 1e3
         print(format_run_report(result, gantt=not args.no_gantt))
+        if args.ledger:
+            # Describe the run as the SimTask it is equivalent to, so a
+            # direct run and the identical matrix task share a ledger
+            # fingerprint (see experiments/ledger.py).
+            from .experiments.ledger import record_for_result
+            from .experiments.parallel import SimTask
+            from .obs.ledger import RunLedger
+            task = SimTask(system=args.system, graphs=tuple(graphs),
+                           config=config, scale=scale, serving=spec)
+            ledger = RunLedger(args.ledger)
+            ledger.append(record_for_result(task, result,
+                                            wall_ms=run_wall_ms))
+            print(f"ledger: {ledger.path} ({len(ledger)} record(s))")
         if tracer is not None:
             from .obs.perfetto import write_chrome_trace
             write_chrome_trace(tracer, args.trace)

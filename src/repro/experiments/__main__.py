@@ -186,6 +186,19 @@ def main(argv=None) -> int:
                         metavar="X",
                         help="fault intensity in [0,1] "
                              "(default: %(default)s)")
+    parser.add_argument("--ledger", nargs="?", const=".repro_ledger",
+                        default=None, metavar="DIR",
+                        help="append one run record per completed "
+                             "simulation to this ledger directory "
+                             "(default when given bare: %(const)s; see "
+                             "`python -m repro ledger`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live stderr progress board for matrix "
+                             "sweeps (done/total, cache hit rate, ETA)")
+    parser.add_argument("--meta-trace", metavar="PATH", default=None,
+                        help="write a Perfetto trace of the matrix "
+                             "runner itself (one track per worker, one "
+                             "span per task) to PATH")
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="also write a serving run-report JSON "
                              "(fig20_serving: fault-free; fig19: faulted "
@@ -203,6 +216,10 @@ def main(argv=None) -> int:
         # by run_matrix inherit the choice regardless of start method.
         os.environ["REPRO_NO_FASTPATH"] = "1"
         fastpath.disable_all()
+    if args.ledger:
+        # Same env-var pattern: pool workers inherit the ledger root and
+        # append their own records (see obs/ledger.py).
+        os.environ[obs.LEDGER_ENV] = args.ledger
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
@@ -213,7 +230,8 @@ def main(argv=None) -> int:
         fault_spec = FaultSpec(enabled=args.faults,
                                intensity=args.fault_intensity,
                                fault_seed=args.fault_seed)
-    ctx = ExecContext(jobs=jobs, cache=cache, fault_spec=fault_spec)
+    ctx = ExecContext(jobs=jobs, cache=cache, fault_spec=fault_spec,
+                      progress=args.progress, meta_trace=args.meta_trace)
 
     metrics = obs.MetricsRegistry() if args.metrics else None
     if metrics is not None:

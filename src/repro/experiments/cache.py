@@ -30,8 +30,10 @@ import enum
 import hashlib
 import json
 import os
+import shutil
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 #: Bump on any change to the RunSummary schema *or* to the simulation
 #: model's observable behaviour — on-disk entries from older schemas are
@@ -134,3 +136,111 @@ class SimCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+
+# ---------------------------------------------------------------------------
+# Introspection: ``python -m repro cache``
+# ---------------------------------------------------------------------------
+
+def scan_cache(root: str = ".repro_cache") -> List[Dict[str, Any]]:
+    """Per-schema inventory of an on-disk cache root.
+
+    One row per ``<root>/<schema>/`` directory: entry count, total bytes,
+    age of the newest entry, and whether the schema is stale (anything
+    other than the current :data:`CACHE_SCHEMA`).  Unreadable entries
+    still count toward size — stale junk is exactly what ``--gc`` is for.
+    """
+    base = Path(root)
+    rows: List[Dict[str, Any]] = []
+    if not base.is_dir():
+        return rows
+    for schema_dir in sorted(p for p in base.iterdir() if p.is_dir()):
+        entries = 0
+        total_bytes = 0
+        newest = 0.0
+        for path in schema_dir.rglob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            newest = max(newest, stat.st_mtime)
+        rows.append({
+            "schema": schema_dir.name,
+            "stale": schema_dir.name != CACHE_SCHEMA,
+            "entries": entries,
+            "bytes": total_bytes,
+            "newest_age_s": max(0.0, time.time() - newest) if entries
+            else None,
+        })
+    return rows
+
+
+def gc_stale(root: str = ".repro_cache") -> List[str]:
+    """Delete every stale-schema directory under ``root``; returns the
+    schema names evicted.  The current schema's entries are never
+    touched — they are content-addressed and individually cheap, so age
+    alone is no reason to evict them."""
+    evicted: List[str] = []
+    for row in scan_cache(root):
+        if not row["stale"]:
+            continue
+        shutil.rmtree(Path(root) / row["schema"], ignore_errors=True)
+        evicted.append(row["schema"])
+    return evicted
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:,.1f} {unit}" if unit != "B" else f"{n:,d} B"
+        n /= 1024
+    return f"{n:,.1f} GiB"   # pragma: no cover - loop always returns
+
+
+def main(argv=None) -> int:
+    """``python -m repro cache`` — inspect / garbage-collect the cache."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="list on-disk simulation-cache entries by schema; "
+                    "--gc evicts stale-schema directories")
+    parser.add_argument("--dir", default=".repro_cache", metavar="DIR",
+                        help="cache root (default: %(default)s)")
+    parser.add_argument("--gc", action="store_true",
+                        help="delete stale-schema directories")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the inventory as JSON")
+    args = parser.parse_args(argv)
+
+    rows = scan_cache(args.dir)
+    if args.json:
+        print(json.dumps(rows, sort_keys=True, separators=(",", ":")))
+    elif not rows:
+        print(f"cache at {args.dir}: empty (no schema directories)")
+    else:
+        from .runner import markdown_table
+        print(f"### repro cache — {args.dir} (current schema "
+              f"{CACHE_SCHEMA})")
+        print(markdown_table(
+            ["schema", "status", "entries", "size", "newest entry"],
+            [[r["schema"],
+              "stale" if r["stale"] else "current",
+              r["entries"],
+              _fmt_bytes(r["bytes"]),
+              (f"{r['newest_age_s']:,.0f} s ago"
+               if r["newest_age_s"] is not None else "-")]
+             for r in rows]))
+    if args.gc:
+        evicted = gc_stale(args.dir)
+        if evicted:
+            print(f"evicted stale schema(s): {', '.join(evicted)}")
+        else:
+            print("nothing stale to evict")
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - manual entry point
+    import sys
+    sys.exit(main())

@@ -202,6 +202,36 @@ def diff_to_json(diff: Dict) -> str:
     return json.dumps(diff, sort_keys=True, separators=(",", ":"))
 
 
+def movement_breaches(diff: Dict, threshold: float) -> List[str]:
+    """Summary metrics and phase totals whose *relative* movement
+    exceeds ``threshold`` (e.g. 0.05 = 5%).
+
+    A metric moving off a zero base is always a breach (there is no
+    denominator to soften it); window-level rows are deliberately not
+    gated — they localize movement, the aggregates above decide it.
+    """
+    breaches: List[str] = []
+
+    def check(name: str, cell: Dict[str, float]) -> None:
+        delta = cell["delta"]
+        if math.isnan(delta) or delta == 0.0:
+            return
+        base = abs(cell["base"])
+        rel = abs(delta) / base if base > 0.0 else math.inf
+        if rel > threshold:
+            shown = f"{rel:.1%}" if math.isfinite(rel) else "from zero"
+            breaches.append(f"{name}: {cell['base']:g} -> "
+                            f"{cell['other']:g} ({shown})")
+
+    for label, _, _ in _SUMMARY_METRICS:
+        check(f"summary:{label}", diff["summary"][label])
+    for section_key, title in (("totals_ns", "phase"),
+                               ("categories_ns", "category")):
+        for key, cell in diff["phases"][section_key].items():
+            check(f"{title}:{key}", cell)
+    return breaches
+
+
 def main(argv=None) -> int:
     """``python -m repro diff`` — compare two report JSON files."""
     parser = argparse.ArgumentParser(
@@ -212,13 +242,41 @@ def main(argv=None) -> int:
     parser.add_argument("other", help="comparison report JSON")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the structured diff as JSON")
+    parser.add_argument("--fail-on-movement", nargs="?", const="any",
+                        default=None, metavar="THRESHOLD",
+                        help="exit nonzero when metrics move: bare = any "
+                             "movement at all; with a value (e.g. 0.05) = "
+                             "any summary/phase metric moving more than "
+                             "that relative fraction")
     args = parser.parse_args(argv)
+    threshold = None
+    if args.fail_on_movement is not None and args.fail_on_movement != "any":
+        try:
+            threshold = float(args.fail_on_movement)
+        except ValueError:
+            parser.error(f"--fail-on-movement threshold must be a number, "
+                         f"got {args.fail_on_movement!r}")
+        if threshold < 0:
+            parser.error("--fail-on-movement threshold must be >= 0")
     diff = diff_reports(load_report(args.base), load_report(args.other))
     print(format_diff(diff))
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(diff_to_json(diff) + "\n")
         print(f"\ndiff: {args.json}")
+    if args.fail_on_movement is not None:
+        if threshold is None:
+            if diff["moved"]:
+                print("\nFAIL: reports differ (--fail-on-movement)")
+                return 1
+        else:
+            breaches = movement_breaches(diff, threshold)
+            if breaches:
+                print(f"\nFAIL: {len(breaches)} metric(s) moved beyond "
+                      f"{threshold:.1%} (--fail-on-movement):")
+                for b in breaches:
+                    print(f"  - {b}")
+                return 1
     return 0
 
 

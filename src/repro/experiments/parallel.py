@@ -26,8 +26,10 @@ worker run rebuilds the engine from scratch exactly like the serial path
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +38,7 @@ from ..common.config import FaultSpec, SystemConfig
 from ..common.errors import WorkloadError
 from ..llm.graph import Graph
 from ..llm.serving import ServingSpec
-from ..obs import current_metrics
+from ..obs import current_metrics, ledger_from_env
 from .cache import CACHE_SCHEMA, SimCache, fingerprint
 
 #: Metric names emitted by :func:`run_matrix` (satellite: cache and pool
@@ -287,6 +289,14 @@ class ExecContext:
     #: sweep) keep theirs.  A disabled spec here is just a flag carrier
     #: (e.g. ``--fault-seed`` for fig19) and changes nothing.
     fault_spec: Optional[FaultSpec] = None
+    #: Opt-in live stderr progress board (done/total, cache hit rate,
+    #: worker utilization, EWMA task wall time, ETA).  Harness telemetry
+    #: only — adds zero simulation events and zero RNG draws.
+    progress: bool = False
+    #: When set, write a Perfetto trace **of the runner** to this path:
+    #: one track per worker process, one span per executed task, instant
+    #: events for cache hits (see :mod:`.telemetry`).
+    meta_trace: Optional[str] = None
 
 
 #: Shared default so ``ctx=None`` callers allocate nothing.
@@ -325,6 +335,62 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
             from .. import obs
             obs.install(metrics=prev_metrics)
     return summary, (time.perf_counter() - start) * 1e3
+
+
+def _ledger_append(ledger, task: SimTask, summary: RunSummary, *,
+                   fingerprint: str, cache_hit: bool,
+                   wall_ms: float) -> None:
+    """Append one run record, never letting a ledger bug kill the sweep.
+
+    The record policy lives in :mod:`.ledger` (imported lazily — it pulls
+    in :mod:`.runner`); any failure building or writing the record is
+    downgraded to a warning because the ledger is an observer, not a
+    correctness dependency.
+    """
+    if not ledger.enabled:
+        return
+    try:
+        from .ledger import record_for_task
+        ledger.append(record_for_task(task, summary, cache_hit=cache_hit,
+                                      wall_ms=wall_ms,
+                                      fingerprint=fingerprint))
+    except Exception as exc:   # noqa: BLE001 - observer must not raise
+        warnings.warn(f"run ledger: dropping record for "
+                      f"{fingerprint[:12]}… ({exc})", RuntimeWarning,
+                      stacklevel=2)
+
+
+def _execute_task_observed(
+        task: SimTask) -> Tuple[RunSummary, float, int, float, float]:
+    """Pool entry point: :func:`_execute_task` plus harness provenance.
+
+    Returns ``(summary, wall_ms, pid, start_monotonic, end_monotonic)``
+    — the extra fields feed the parent's meta-trace worker tracks.  The
+    worker also appends its own ledger miss-record here: ``REPRO_LEDGER``
+    travels through the process environment, so the record is written by
+    the process that did the work, concurrently with its siblings.
+    (:func:`_execute_task` itself keeps its two-tuple contract.)
+    """
+    t0 = time.monotonic()
+    summary, wall_ms = _execute_task(task)
+    t1 = time.monotonic()
+    ledger = ledger_from_env()
+    if ledger.enabled:
+        _ledger_append(ledger, task, summary,
+                       fingerprint=task.fingerprint(), cache_hit=False,
+                       wall_ms=wall_ms)
+    return summary, wall_ms, os.getpid(), t0, t1
+
+
+def _task_label(task: SimTask) -> str:
+    """Human-readable span name for the meta-trace / progress board."""
+    if task.serving is not None:
+        return f"{task.system} serving"
+    if task.ablation is not None:
+        return f"{task.system} ablation"
+    if task.graphs:
+        return f"{task.system} {task.graphs[0].name}"
+    return task.system
 
 
 def _run_serving(task: SimTask):
@@ -387,6 +453,14 @@ def run_matrix(tasks: Sequence[SimTask],
     within one matrix (figures sharing baseline runs) simulate once.
     Emits ``cache.hits``/``cache.misses`` counters and an
     ``experiments.task_wall_ms`` histogram when metrics are installed.
+
+    Harness observability (all opt-in, all outside the simulation):
+    when ``$REPRO_LEDGER`` names a directory, every task outcome —
+    simulated, cache-served, or aliased — appends one run record there
+    (workers append their own miss records; the parent appends hit
+    records with zero wall time).  ``ctx.progress`` drives a live
+    stderr board and ``ctx.meta_trace`` writes a Perfetto trace of the
+    runner itself (:mod:`.telemetry`).
     """
     ctx = ctx or SERIAL
     if ctx.fault_spec is not None and ctx.fault_spec.enabled:
@@ -395,14 +469,28 @@ def run_matrix(tasks: Sequence[SimTask],
                               config=task.config.with_faults(ctx.fault_spec))
                  for task in tasks]
     metrics = current_metrics()
+    ledger = ledger_from_env()
+    board = meta = None
+    if ctx.progress:
+        from .telemetry import ProgressBoard
+        board = ProgressBoard(len(tasks), ctx.jobs)
+    if ctx.meta_trace is not None:
+        from .telemetry import MetaTrace
+        meta = MetaTrace()
+    # Fingerprints cost one canonical-JSON + sha256 per task; skip them
+    # entirely unless something downstream (cache, ledger, meta-trace)
+    # consumes them, preserving the bare serial path byte-for-byte.
+    need_fp = (ctx.cache is not None or ledger.enabled
+               or meta is not None)
     out: List[Optional[RunSummary]] = [None] * len(tasks)
     fps: List[Optional[str]] = [None] * len(tasks)
     pending: List[int] = []
     queued: Dict[str, int] = {}       # fingerprint -> first pending index
     aliases: List[Tuple[int, int]] = []   # (dup index, source index)
     for i, task in enumerate(tasks):
-        if ctx.cache is not None:
+        if need_fp:
             fps[i] = task.fingerprint()
+        if ctx.cache is not None:
             stored = ctx.cache.lookup(fps[i])
             if stored is not None:
                 try:
@@ -413,6 +501,13 @@ def run_matrix(tasks: Sequence[SimTask],
                     out[i] = summary
                     if metrics.enabled:
                         metrics.counter(CACHE_HITS).inc()
+                    if board is not None:
+                        board.cache_hit()
+                    if meta is not None:
+                        meta.cache_hit(i, _task_label(task), fps[i])
+                    _ledger_append(ledger, task, summary,
+                                   fingerprint=fps[i], cache_hit=True,
+                                   wall_ms=0.0)
                     continue
             src = queued.get(fps[i])
             if src is not None and (
@@ -424,6 +519,10 @@ def run_matrix(tasks: Sequence[SimTask],
                 aliases.append((i, src))
                 if metrics.enabled:
                     metrics.counter(CACHE_HITS).inc()
+                if board is not None:
+                    board.cache_hit()
+                if meta is not None:
+                    meta.cache_hit(i, _task_label(task), fps[i])
                 continue
             queued[fps[i]] = i
             if metrics.enabled:
@@ -434,16 +533,42 @@ def run_matrix(tasks: Sequence[SimTask],
         work = [tasks[i] for i in pending]
         jobs = min(max(1, ctx.jobs), len(work))
         if jobs > 1:
+            # submit/as_completed (not pool.map) so the board can tick
+            # as tasks finish; results land in a position-indexed list,
+            # and everything order-sensitive below runs in pending order
+            # — parallel and serial modes stay byte-identical.
+            outcomes: List = [None] * len(work)
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                outcomes = list(pool.map(_execute_task, work))
+                futures = {pool.submit(_execute_task_observed, task): pos
+                           for pos, task in enumerate(work)}
+                for future in as_completed(futures):
+                    pos = futures[future]
+                    outcomes[pos] = future.result()
+                    if board is not None:
+                        board.task_done(outcomes[pos][1])
         else:
-            outcomes = [_execute_task(task) for task in work]
-        for i, (summary, wall_ms) in zip(pending, outcomes):
+            outcomes = []
+            for task in work:
+                outcomes.append(_execute_task_observed(task))
+                if board is not None:
+                    board.task_done(outcomes[-1][1])
+        for i, (summary, wall_ms, pid, t0, t1) in zip(pending, outcomes):
             out[i] = summary
             if metrics.enabled:
                 metrics.histogram(TASK_WALL_MS).record(wall_ms)
             if ctx.cache is not None:
                 ctx.cache.store(fps[i], summary.to_dict())
+            if meta is not None:
+                meta.task_span(i, _task_label(tasks[i]), fps[i] or "",
+                               pid, t0, t1, wall_ms)
     for i, src in aliases:
         out[i] = out[src]
+        # In-matrix duplicates are cache hits in every sense that
+        # matters to the ledger: same fingerprint, no new simulation.
+        _ledger_append(ledger, tasks[i], out[src],
+                       fingerprint=fps[i], cache_hit=True, wall_ms=0.0)
+    if board is not None:
+        board.close()
+    if meta is not None:
+        meta.write(ctx.meta_trace)
     return out  # type: ignore[return-value]

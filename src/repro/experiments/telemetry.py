@@ -1,0 +1,201 @@
+"""Live telemetry for the matrix runner itself (harness observability).
+
+The simulations a sweep runs are deeply observable (traces, metrics,
+``explain``); the *runner* executing a thousand of them was, until this
+module, a silent wait followed by a table.  Two opt-in views fix that,
+both fed by the worker envelopes :func:`~.parallel.run_matrix` already
+collects, and both strictly outside the simulation — they add zero
+events and zero RNG draws, so enabling them cannot change any result:
+
+* :class:`ProgressBoard` — a one-line stderr board redrawn on every
+  task completion: done/total, worker-pool utilization, cache hit rate,
+  EWMA task wall time, and the ETA those imply.
+* :class:`MetaTrace` — a Perfetto trace **of the harness**: one track
+  per worker process, one span per executed :class:`~.parallel.SimTask`,
+  instant events for cache hits on the scheduler track.  Exported with
+  the PR-1 tracer/exporter, so a slow sweep is diagnosed in the same UI
+  as a slow simulation.
+
+Everything here is wall-clock (host time), which is exactly the point:
+these are measurements of the harness, quarantined from the simulation's
+deterministic outputs the same way the ledger's volatile section is.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Dict, List, Optional, Tuple
+
+from ..obs.perfetto import write_chrome_trace
+from ..obs.tracer import Tracer
+
+#: EWMA smoothing for the per-task wall-time estimate driving the ETA.
+_EWMA_ALPHA = 0.2
+
+
+class ProgressBoard:
+    """Single-line live progress board for one ``run_matrix`` call.
+
+    Redraws (carriage return, no scroll) on every task completion or
+    cache hit; :meth:`close` finalizes the line.  Writing to a non-tty
+    (CI logs) is fine — each redraw is a plain line fragment and the
+    final state is always printed.
+    """
+
+    def __init__(self, total: int, jobs: int,
+                 stream: Optional[IO[str]] = None):
+        self.total = total
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0                 # simulated (cache misses)
+        self.hits = 0                 # served from cache or aliased
+        self.ewma_ms: Optional[float] = None
+        self.busy_ms = 0.0            # summed task wall time
+        self._t0 = time.monotonic()
+        self._last_line = ""
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def task_done(self, wall_ms: float) -> None:
+        """One task finished simulating (a cache miss)."""
+        self.done += 1
+        self.busy_ms += wall_ms
+        self.ewma_ms = (wall_ms if self.ewma_ms is None else
+                        _EWMA_ALPHA * wall_ms +
+                        (1.0 - _EWMA_ALPHA) * self.ewma_ms)
+        self.render()
+
+    def cache_hit(self) -> None:
+        """One task served without simulating (cache or in-matrix alias)."""
+        self.hits += 1
+        self.render()
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return self.done + self.hits
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.completed)
+
+    def hit_rate(self) -> float:
+        return self.hits / self.completed if self.completed else 0.0
+
+    def utilization(self) -> float:
+        """Summed task wall time over elapsed pool capacity — how busy
+        the worker pool has been so far (1.0 = fully utilized)."""
+        elapsed_ms = (time.monotonic() - self._t0) * 1e3
+        if elapsed_ms <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_ms / (elapsed_ms * self.jobs))
+
+    def eta_s(self) -> Optional[float]:
+        """Projected seconds to finish the remaining tasks, assuming the
+        EWMA task cost and a fully-busy pool; None before any task ran."""
+        if self.ewma_ms is None:
+            return None
+        return self.remaining * self.ewma_ms / 1e3 / self.jobs
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def line(self) -> str:
+        bits = [f"[matrix] {self.completed}/{self.total}"]
+        if self.completed:
+            bits.append(f"cache {self.hit_rate():.0%}")
+        bits.append(f"workers {self.jobs} @ {self.utilization():.0%}")
+        if self.ewma_ms is not None:
+            bits.append(f"ewma {self.ewma_ms:,.0f} ms/task")
+        eta = self.eta_s()
+        if eta is not None:
+            bits.append(f"eta {eta:,.1f} s")
+        return " | ".join(bits)
+
+    def render(self) -> None:
+        line = self.line()
+        # Pad over the previous render so a shrinking line leaves no tail.
+        pad = max(0, len(self._last_line) - len(line))
+        try:
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self._last_line = line
+
+    def close(self) -> None:
+        """Finish the board with a newline and a one-line summary."""
+        self.render()
+        elapsed = time.monotonic() - self._t0
+        try:
+            self.stream.write(f"\n[matrix] {self.total} tasks in "
+                              f"{elapsed:.1f} s ({self.done} simulated, "
+                              f"{self.hits} from cache)\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+
+class MetaTrace:
+    """Collects harness-level spans and exports them as Perfetto JSON.
+
+    Feed it from the parent process: :meth:`task_span` per executed task
+    (workers report their pid and monotonic start/end stamps in the
+    envelope) and :meth:`cache_hit` per task served without simulating.
+    Worker tracks are named by first-appearance order so the trace reads
+    ``worker 0..N-1`` regardless of pid values.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.monotonic()
+        #: (pid, start_ns, end_ns, name, args) per executed task.
+        self._spans: List[Tuple[int, float, float, str, Dict]] = []
+        #: (t_ns, name, args) per cache hit, on the scheduler track.
+        self._hits: List[Tuple[float, str, Dict]] = []
+
+    def _rel_ns(self, monotonic_s: float) -> float:
+        # Clamp: on platforms where worker clocks are not comparable to
+        # the parent's, a span is better pinned at 0 than negative.
+        return max(0.0, (monotonic_s - self.epoch) * 1e9)
+
+    def task_span(self, index: int, label: str, fingerprint: str,
+                  pid: int, start_s: float, end_s: float,
+                  wall_ms: float) -> None:
+        args = {"task": index, "fingerprint": fingerprint[:12],
+                "wall_ms": round(wall_ms, 3)}
+        self._spans.append((pid, self._rel_ns(start_s),
+                            self._rel_ns(end_s), label, args))
+
+    def cache_hit(self, index: int, label: str, fingerprint: str) -> None:
+        t_ns = self._rel_ns(time.monotonic())
+        self._hits.append((t_ns, label,
+                           {"task": index, "fingerprint": fingerprint[:12]}))
+
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    def to_tracer(self) -> Tracer:
+        """Materialize the collected telemetry as a PR-1 :class:`Tracer`."""
+        tracer = Tracer()
+        sched = tracer.track("matrix runner", "scheduler")
+        worker_tracks: Dict[int, int] = {}
+        for pid, *_ in self._spans:
+            if pid not in worker_tracks:
+                worker_tracks[pid] = tracer.track(
+                    "matrix runner",
+                    f"worker {len(worker_tracks)} (pid {pid})")
+        for t_ns, label, args in self._hits:
+            tracer.instant(sched, f"cache hit: {label}", t_ns,
+                           cat="cache", args=args)
+        for pid, start_ns, end_ns, label, args in self._spans:
+            handle = tracer.begin(worker_tracks[pid], label, start_ns,
+                                  cat="sim-task", args=args)
+            tracer.end(handle, max(end_ns, start_ns))
+        return tracer
+
+    def write(self, path: str) -> None:
+        write_chrome_trace(self.to_tracer(), path)

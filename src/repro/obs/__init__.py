@@ -14,6 +14,11 @@ Cooperating pieces, all off by default and zero-cost when off:
   quantile sketches for SLO reporting (:mod:`.timeseries`).
 * :class:`RequestLog` — per-request span records for the serving
   workload (:mod:`.requests`).
+* :class:`RunLedger` — append-only cross-run record of completed
+  simulations behind ``repro ledger`` (:mod:`.ledger`).  Unlike the
+  sinks above it is activated ambiently via the ``REPRO_LEDGER``
+  environment variable (so matrix pool workers inherit it), not via
+  :func:`install`.
 
 Components capture the *current* sinks at construction time via the
 ``current_*`` accessors, so :func:`install` must run before the harness
@@ -28,6 +33,8 @@ from __future__ import annotations
 from typing import Optional
 
 from .causality import CausalityRecorder, NullCausality
+from .ledger import LEDGER_ENV, LEDGER_SCHEMA, NullLedger, RunLedger, \
+    ledger_from_env
 from .metrics import (Counter, EmptyDistributionWarning, Gauge, Histogram,
                       MetricsRegistry, NullMetrics, merge_histogram_states)
 from .profiler import SimProfiler
@@ -37,12 +44,13 @@ from .tracer import NullTracer, Tracer
 
 __all__ = [
     "CausalityRecorder", "Counter", "EmptyDistributionWarning", "Gauge",
-    "Histogram", "MetricsRegistry", "NullCausality", "NullMetrics",
-    "NullRequestLog", "NullTimeSeries", "NullTracer", "RequestLog",
+    "Histogram", "LEDGER_ENV", "LEDGER_SCHEMA", "MetricsRegistry",
+    "NullCausality", "NullLedger", "NullMetrics", "NullRequestLog",
+    "NullTimeSeries", "NullTracer", "RequestLog", "RunLedger",
     "SimProfiler", "TimeSeriesSink", "Tracer", "current_tracer",
     "current_metrics", "current_profiler", "current_causality",
     "current_timeseries", "current_request_log", "install",
-    "merge_histogram_states", "reset",
+    "ledger_from_env", "merge_histogram_states", "reset",
 ]
 
 _NULL_TRACER = NullTracer()

@@ -12,7 +12,8 @@ import pytest
 from repro import obs
 from repro.common.config import dgx_h100_config
 from repro.experiments.cache import (CACHE_SCHEMA, SimCache, canonical,
-                                     fingerprint)
+                                     fingerprint, gc_stale, scan_cache)
+from repro.experiments.cache import main as cache_main
 from repro.experiments.parallel import (AblationSpec, ExecContext,
                                         RunSummary, SimTask,
                                         run_matrix, summary_satisfies)
@@ -325,3 +326,57 @@ class TestRunnerGuards:
 def _result(makespan_ns: float) -> RunResult:
     return RunResult(system="x", makespan_ns=makespan_ns, compute_ns=0.0,
                      tbs_completed=0, events=0)
+
+
+# ---------------------------------------------------------------------------
+# Cache introspection (`python -m repro cache`)
+# ---------------------------------------------------------------------------
+
+class TestCacheIntrospection:
+    def _seed_cache(self, tmp_path):
+        """A cache root with one current-schema entry and one stale dir."""
+        root = tmp_path / "cache"
+        cache = SimCache(str(root))
+        task = tiny_task()
+        summary, _ = _run_one(task)
+        cache.store(task.fingerprint(), summary.to_dict())
+        stale = root / "v0" / "ab"
+        stale.mkdir(parents=True)
+        (stale / ("c" * 64 + ".json")).write_text("{}")
+        return root
+
+    def test_scan_reports_schemas_and_staleness(self, tmp_path):
+        root = self._seed_cache(tmp_path)
+        rows = scan_cache(str(root))
+        assert [(r["schema"], r["stale"], r["entries"]) for r in rows] \
+            == [("v0", True, 1), (CACHE_SCHEMA, False, 1)]
+        current = rows[1]
+        assert current["bytes"] > 0
+        assert current["newest_age_s"] is not None
+        assert current["newest_age_s"] >= 0.0
+
+    def test_scan_missing_root_is_empty(self, tmp_path):
+        assert scan_cache(str(tmp_path / "nope")) == []
+
+    def test_gc_evicts_only_stale_schemas(self, tmp_path):
+        root = self._seed_cache(tmp_path)
+        assert gc_stale(str(root)) == ["v0"]
+        assert not (root / "v0").exists()
+        assert (root / CACHE_SCHEMA).exists()
+        # Nothing left to evict on the second pass.
+        assert gc_stale(str(root)) == []
+
+    def test_cache_cli_lists_and_gcs(self, tmp_path, capsys):
+        root = self._seed_cache(tmp_path)
+        assert cache_main(["--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "stale" in out and CACHE_SCHEMA in out
+        assert cache_main(["--dir", str(root), "--gc"]) == 0
+        assert "evicted stale schema(s): v0" in capsys.readouterr().out
+        assert not (root / "v0").exists()
+
+    def test_cache_cli_json_mode(self, tmp_path, capsys):
+        root = self._seed_cache(tmp_path)
+        assert cache_main(["--dir", str(root), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["schema"] for r in rows} == {"v0", CACHE_SCHEMA}

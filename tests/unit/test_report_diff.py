@@ -11,7 +11,8 @@ import math
 import pytest
 
 from repro.experiments.diff import (DIFF_KIND, diff_reports, diff_to_json,
-                                    format_diff)
+                                    format_diff, movement_breaches)
+from repro.experiments.diff import main as diff_main
 from repro.experiments.report import (REPORT_KIND, REPORT_SCHEMA,
                                       format_report, report_to_json,
                                       validate_report)
@@ -208,3 +209,65 @@ def test_diff_to_json_is_byte_stable():
     base, other = _report(), _report()
     assert diff_to_json(diff_reports(base, other)) \
         == diff_to_json(diff_reports(base, other))
+
+
+# ---------------------------------------------------------------------------
+# --fail-on-movement (the CI diff gate)
+# ---------------------------------------------------------------------------
+
+def _write_report(tmp_path, name, report):
+    import json
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_movement_breaches_relative_threshold():
+    base = _report()
+    other = copy.deepcopy(base)
+    other["summary"]["tokens_per_s"] *= 1.10          # +10%
+    other["phases"]["totals_ns"]["queue"] *= 1.02     # +2%
+    diff = diff_reports(base, other)
+    breaches = movement_breaches(diff, threshold=0.05)
+    assert len(breaches) == 1
+    assert breaches[0].startswith("summary:tokens/s")
+    # A looser gate tolerates both movements.
+    assert movement_breaches(diff, threshold=0.25) == []
+
+
+def test_movement_from_zero_base_always_breaches():
+    base = _report()
+    other = copy.deepcopy(base)
+    other["summary"]["evictions"] = 3
+    diff = diff_reports(base, other)
+    breaches = movement_breaches(diff, threshold=0.5)
+    assert any("from zero" in b for b in breaches)
+
+
+def test_fail_on_movement_cli_gate(tmp_path, capsys):
+    base_path = _write_report(tmp_path, "base.json", _report())
+    other = copy.deepcopy(_report())
+    other["summary"]["tokens_per_s"] *= 1.001          # tiny movement
+    other_path = _write_report(tmp_path, "other.json", other)
+
+    # Self-diff passes even the strictest gate.
+    assert diff_main([base_path, base_path, "--fail-on-movement"]) == 0
+    # Bare flag: any movement at all fails.
+    assert diff_main([base_path, other_path, "--fail-on-movement"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+    # Thresholded: 0.1% movement passes a 5% gate...
+    assert diff_main([base_path, other_path,
+                      "--fail-on-movement", "0.05"]) == 0
+    # ...and fails a gate tighter than the movement.
+    assert diff_main([base_path, other_path,
+                      "--fail-on-movement", "0.0001"]) == 1
+    out = capsys.readouterr().out
+    assert "tokens/s" in out and "FAIL" in out
+
+
+def test_fail_on_movement_rejects_bad_threshold(tmp_path):
+    path = _write_report(tmp_path, "r.json", _report())
+    with pytest.raises(SystemExit):
+        diff_main([path, path, "--fail-on-movement", "not-a-number"])
+    with pytest.raises(SystemExit):
+        diff_main([path, path, "--fail-on-movement", "-1"])

@@ -1,0 +1,115 @@
+"""Unit tests for harness telemetry (repro.experiments.telemetry).
+
+The progress board and the meta-trace are pure observers of the matrix
+runner: these tests pin their arithmetic (counts, hit rate, EWMA, ETA),
+their rendering, and that a collected meta-trace exports as valid
+Chrome/Perfetto JSON with one span per executed task.
+"""
+
+import io
+import json
+
+from repro.experiments.telemetry import MetaTrace, ProgressBoard
+from repro.obs.perfetto import to_chrome_trace, validate_chrome_trace
+
+
+class TestProgressBoard:
+    def test_counts_and_hit_rate(self):
+        board = ProgressBoard(total=4, jobs=2, stream=io.StringIO())
+        assert board.completed == 0 and board.remaining == 4
+        assert board.hit_rate() == 0.0
+        board.cache_hit()
+        board.task_done(10.0)
+        board.task_done(30.0)
+        assert board.completed == 3 and board.remaining == 1
+        assert board.hit_rate() == 1 / 3
+        assert board.done == 2 and board.hits == 1
+
+    def test_ewma_smooths_task_walls(self):
+        board = ProgressBoard(total=3, jobs=1, stream=io.StringIO())
+        assert board.eta_s() is None        # nothing simulated yet
+        board.task_done(100.0)
+        assert board.ewma_ms == 100.0
+        board.task_done(200.0)
+        assert board.ewma_ms == 0.2 * 200.0 + 0.8 * 100.0
+        assert board.eta_s() is not None and board.eta_s() > 0
+
+    def test_line_mentions_progress_and_cache(self):
+        board = ProgressBoard(total=5, jobs=3, stream=io.StringIO())
+        board.cache_hit()
+        board.task_done(12.0)
+        line = board.line()
+        assert "2/5" in line
+        assert "cache 50%" in line
+        assert "workers 3" in line
+        assert "ewma" in line and "eta" in line
+
+    def test_render_and_close_write_to_stream(self):
+        stream = io.StringIO()
+        board = ProgressBoard(total=1, jobs=1, stream=stream)
+        board.task_done(5.0)
+        board.close()
+        out = stream.getvalue()
+        assert "1/1" in out
+        assert "1 tasks in" in out and "1 simulated" in out
+
+    def test_broken_stream_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, *a):
+                raise OSError("gone")
+        board = ProgressBoard(total=1, jobs=1, stream=Broken())
+        board.task_done(5.0)     # must not raise
+        board.close()
+
+    def test_utilization_capped_at_one(self):
+        board = ProgressBoard(total=1, jobs=1, stream=io.StringIO())
+        board.task_done(10_000_000.0)     # absurd busy time
+        assert board.utilization() == 1.0
+
+
+class TestMetaTrace:
+    def _collect(self):
+        meta = MetaTrace()
+        base = meta.epoch
+        meta.cache_hit(0, "TP-NVLS tiny", "c" * 64)
+        meta.task_span(1, "CAIS tiny", "a" * 64, pid=111,
+                       start_s=base + 0.010, end_s=base + 0.030,
+                       wall_ms=20.0)
+        meta.task_span(2, "T3 tiny", "b" * 64, pid=222,
+                       start_s=base + 0.015, end_s=base + 0.040,
+                       wall_ms=25.0)
+        return meta
+
+    def test_span_per_task_and_hit_instants(self):
+        meta = self._collect()
+        assert meta.span_count() == 2
+        events = meta.to_tracer().events()
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(spans) == 2
+        assert all(e["cat"] == "sim-task" for e in spans)
+        assert [e["name"] for e in instants] == ["cache hit: TP-NVLS tiny"]
+        assert {e["args"]["task"] for e in spans} == {1, 2}
+
+    def test_workers_get_one_track_each(self):
+        payload = to_chrome_trace(self._collect().to_tracer())
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert "scheduler" in names
+        assert any(n.startswith("worker 0") for n in names)
+        assert any(n.startswith("worker 1") for n in names)
+
+    def test_exports_as_valid_perfetto_json(self, tmp_path):
+        path = tmp_path / "meta.json"
+        self._collect().write(str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_clock_skew_clamped_to_zero(self):
+        meta = MetaTrace()
+        meta.task_span(0, "x", "a" * 64, pid=1,
+                       start_s=meta.epoch - 100.0,
+                       end_s=meta.epoch - 99.0, wall_ms=1.0)
+        span = next(e for e in meta.to_tracer().events()
+                    if e["ph"] == "X")
+        assert span["ts"] == 0.0 and span["dur"] == 0.0

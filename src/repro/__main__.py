@@ -41,7 +41,7 @@ from .llm.tp import SUBLAYERS
 from .metrics.report import format_run_report
 from .systems import SYSTEM_CLASSES, make_system
 
-WORKLOADS = tuple(SUBLAYERS) + ("layer", "serving")
+WORKLOADS = tuple(SUBLAYERS) + ("layer", "serving", "fleet")
 
 
 def main(argv=None) -> int:
@@ -80,8 +80,9 @@ def main(argv=None) -> int:
     parser.add_argument("--model", default="LLaMA-7B",
                         choices=sorted(TABLE_I) + ["LLaMA-full"])
     parser.add_argument("--workload", default="L1", choices=WORKLOADS,
-                        help="one Fig. 12 sub-layer, a full layer, or the "
-                             "continuous-batching serving stream")
+                        help="one Fig. 12 sub-layer, a full layer, the "
+                             "continuous-batching serving stream, or a "
+                             "multi-replica serving fleet")
     parser.add_argument("--training", action="store_true",
                         help="forward + backward (layer workload only)")
     parser.add_argument("--scale", type=float, default=0.125,
@@ -131,6 +132,19 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="serving workload: per-request retransmit "
                              "budget before abort + re-prefill")
+    parser.add_argument("--replicas", type=int, default=None, metavar="N",
+                        help="fleet workload: TP-replica count "
+                             "(default: the fig22 fleet size)")
+    parser.add_argument("--fleet-policy", default="round-robin",
+                        choices=("round-robin", "least-kv",
+                                 "prefix-affinity"),
+                        help="fleet workload: router load-balancing "
+                             "policy (default: %(default)s)")
+    parser.add_argument("--prefill-replicas", type=int, default=0,
+                        metavar="P",
+                        help="fleet workload: carve P replicas into a "
+                             "prefill pool with KV handoff to the rest "
+                             "(default: combined replicas)")
     args = parser.parse_args(argv)
     if args.admission != "none" and args.slo_ttft_ms is None:
         parser.error("--admission requires --slo-ttft-ms")
@@ -171,6 +185,37 @@ def main(argv=None) -> int:
         run_started = time.perf_counter()
         spec = None
         graphs = []
+        if args.workload == "fleet":
+            # The fleet path aggregates N independent replica runs; there
+            # is no single RunResult to report, so it prints its own
+            # summary and the shared flags (--ledger through the env var,
+            # like the experiments CLI) apply per replica task.
+            from .experiments.fig22_fleet import (fleet_spec_for,
+                                                  format_fleet_summary,
+                                                  run_fleet)
+            fleet = fleet_spec_for(
+                scale, 1.0, args.seed,
+                replicas=(args.replicas if args.replicas is not None
+                          else 4),
+                policy=args.fleet_policy,
+                prefill_replicas=args.prefill_replicas)
+            fleet = dataclasses.replace(fleet, serving=dataclasses.replace(
+                fleet.serving, model=args.model,
+                retry_budget=args.retry_budget,
+                **({"admission_policy": args.admission,
+                    "slo_ttft_ms": args.slo_ttft_ms}
+                   if args.admission != "none" else {})))
+            if args.ledger:
+                os.environ[obs.LEDGER_ENV] = args.ledger
+            result = run_fleet(args.system, fleet, config=config,
+                               scale=scale)
+            print(format_fleet_summary(result))
+            if args.ledger:
+                from .obs.ledger import RunLedger
+                ledger = RunLedger(args.ledger)
+                print(f"ledger: {ledger.path} "
+                      f"({len(ledger)} record(s))")
+            return 0
         if args.workload == "serving":
             from .experiments.fig20_serving import spec_for
             from .experiments.runner import style_for

@@ -41,6 +41,7 @@ from . import (
     fig19_resilience,
     fig20_serving,
     fig21_faulted_serving,
+    fig22_fleet,
     table2_scaling_validation,
 )
 from .. import obs
@@ -113,6 +114,10 @@ def _fig21(scale: Scale, ctx: ExecContext) -> str:
         fig21_faulted_serving.run(scale, fault_seed=seed, ctx=ctx))
 
 
+def _fig22(scale: Scale, ctx: ExecContext) -> str:
+    return fig22_fleet.format_table(fig22_fleet.run(scale, ctx=ctx))
+
+
 def _sensitivity(scale: Scale, ctx: ExecContext) -> str:
     return sensitivity.format_tables(
         sensitivity.bandwidth_sweep(scale, ctx=ctx),
@@ -142,6 +147,7 @@ EXPERIMENTS = {
     "fig19": _fig19,
     "fig20_serving": _fig20,
     "fig21": _fig21,
+    "fig22": _fig22,
     "sensitivity": _sensitivity,
     "table2": _table2,
     "hw": _hw,
@@ -203,13 +209,14 @@ def main(argv=None) -> int:
                         help="also write a serving run-report JSON "
                              "(fig20_serving: fault-free; fig19: faulted "
                              "at peak intensity; fig21: faulted with "
-                             "admission control and retry budgets; see "
+                             "admission control and retry budgets; fig22: "
+                             "the fleet's replica-0 stream; see "
                              "`python -m repro report`)")
     args = parser.parse_args(argv)
     if args.report and args.experiment not in ("fig19", "fig20_serving",
-                                               "fig21"):
+                                               "fig21", "fig22"):
         parser.error("--report is only meaningful for fig19, "
-                     "fig20_serving and fig21")
+                     "fig20_serving, fig21 and fig22")
 
     if args.no_fastpath:
         # The env var (not just set_config) so that pool workers spawned

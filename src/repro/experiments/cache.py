@@ -38,9 +38,10 @@ from typing import Any, Dict, List, Optional
 #: Bump on any change to the RunSummary schema *or* to the simulation
 #: model's observable behaviour — on-disk entries from older schemas are
 #: simply never looked up again.
-CACHE_SCHEMA = "v4"   # v4: ServingSpec grew resilience fields (admission
-                      # policy, SLO target, retry budget) — all in the
-                      # fingerprint, so v3 serving entries are stale
+CACHE_SCHEMA = "v5"   # v5: SimTask grew the fleet replica field and
+                      # RunSummary the per-request stats rows — v4 entries
+                      # predate both and are never consulted again
+                      # (v4: ServingSpec grew resilience fields)
 
 
 def canonical(value: Any) -> Any:

@@ -48,6 +48,9 @@ DEFAULT_THROUGHPUT_FLOOR = 0.01
 
 def _model_of(task) -> Optional[str]:
     """Best-effort Table-I model name for query/summarize filters."""
+    if task.replica is not None:
+        return (task.replica.model.name if task.replica.model is not None
+                else task.replica.spec.model)
     if task.serving is not None:
         return task.serving.model
     from ..llm.models import TABLE_I
@@ -63,7 +66,13 @@ def task_spec(task) -> Dict[str, Any]:
     to know *what ran* without re-deriving the fingerprint payload."""
     cfg = task.config
     fp = fastpath.config()
-    if task.serving is not None:
+    role = None
+    if task.replica is not None:
+        workload = "fleet"
+        # "replica" / "prefill" / "decode" plus the pool-local slot, so
+        # fleet rollups never alias each other or single-session serving.
+        role = f"{task.replica.role}[{task.replica.index}]"
+    elif task.serving is not None:
         workload = "serving"
     elif task.ablation is not None:
         workload = "ablation"
@@ -72,6 +81,7 @@ def task_spec(task) -> Dict[str, Any]:
     return {
         "system": task.system,
         "workload": workload,
+        "role": role,
         "model": _model_of(task),
         "seed": cfg.seed,
         "num_gpus": cfg.num_gpus,
@@ -80,7 +90,11 @@ def task_spec(task) -> Dict[str, Any]:
         "kwargs": [[k, canonical(v)] for k, v in sorted(task.kwargs)],
         "scale": canonical(task.scale),
         "faults": canonical(cfg.faults),
-        "serving": canonical(task.serving),
+        # Replica tasks record the per-replica serving spec: it is what
+        # actually ran (the fleet routing lives in the role + requests).
+        "serving": canonical(task.serving if task.serving is not None
+                             else task.replica.spec
+                             if task.replica is not None else None),
         "ablation": canonical(task.ablation),
         "fastpath": fp.cache_token() if fp.any_enabled else None,
     }
@@ -187,14 +201,23 @@ def format_query(records: List[Dict]) -> str:
 
 
 def summarize_records(records: List[Dict]) -> List[Dict]:
-    """Per-(system, workload) aggregates across the recorded history."""
+    """Per-(system, workload, role) aggregates across recorded history.
+
+    ``role`` is ``None`` for everything but fleet replica records
+    (``replica[i]`` / ``prefill[i]`` / ``decode[i]``) — without it in
+    the key, a fleet's N per-replica serving runs would alias each other
+    and any single-session serving record of the same system.
+    """
     groups: Dict[tuple, List[Dict]] = defaultdict(list)
     for rec in records:
         spec = rec["spec"]
         groups[(spec.get("system", "?"),
-                spec.get("workload", "?"))].append(rec)
+                spec.get("workload", "?"),
+                spec.get("role"))].append(rec)
     out = []
-    for (system, workload), recs in sorted(groups.items()):
+    for (system, workload, role), recs in sorted(
+            groups.items(), key=lambda kv: (kv[0][0], kv[0][1],
+                                            kv[0][2] or "")):
         makespans = [r["metrics"]["makespan_ns"] for r in recs]
         hits = sum(1 for r in recs if r["volatile"]["cache_hit"])
         miss_walls = [r["volatile"]["wall_ms"] for r in recs
@@ -202,6 +225,7 @@ def summarize_records(records: List[Dict]) -> List[Dict]:
         out.append({
             "system": system,
             "workload": workload,
+            "role": role,
             "runs": len(recs),
             "fingerprints": len({r["fingerprint"] for r in recs}),
             "cache_hit_rate": hits / len(recs),
@@ -219,7 +243,8 @@ def summarize_records(records: List[Dict]) -> List[Dict]:
 def format_summary(groups: List[Dict]) -> str:
     if not groups:
         return "ledger summarize: no records"
-    rows = [[g["system"], g["workload"], g["runs"], g["fingerprints"],
+    rows = [[g["system"], g["workload"], g.get("role") or "-",
+             g["runs"], g["fingerprints"],
              f"{g['cache_hit_rate']:.0%}",
              g["makespan_ns"]["latest"] / 1e6,
              g["makespan_ns"]["min"] / 1e6,
@@ -228,7 +253,7 @@ def format_summary(groups: List[Dict]) -> str:
              g["last_recorded"]]
             for g in groups]
     table = markdown_table(
-        ["system", "workload", "runs", "specs", "hit rate",
+        ["system", "workload", "role", "runs", "specs", "hit rate",
          "latest (ms)", "min (ms)", "mean (ms)", "sim wall (s)",
          "last recorded (utc)"],
         rows)
@@ -341,7 +366,7 @@ def main(argv=None) -> int:
     q = sub.add_parser("query", help="filter and list recorded runs")
     q.add_argument("--system", default=None)
     q.add_argument("--workload", default=None,
-                   choices=("graphs", "serving", "ablation"))
+                   choices=("graphs", "serving", "ablation", "fleet"))
     q.add_argument("--model", default=None)
     q.add_argument("--seed", type=int, default=None)
     q.add_argument("--fingerprint", default=None, metavar="PREFIX",

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..common import fastpath
 from ..common.config import FaultSpec, SystemConfig
 from ..common.errors import WorkloadError
+from ..llm.fleet import ReplicaSpec
 from ..llm.graph import Graph
 from ..llm.serving import ServingSpec
 from ..obs import current_metrics, ledger_from_env
@@ -89,6 +90,11 @@ class SimTask:
     #: (``graphs`` stays empty — the driver builds one graph per
     #: continuous-batching iteration from the spec).
     serving: Optional[ServingSpec] = None
+    #: When set, the worker runs one fleet replica's serving stream: the
+    #: explicit pre-routed request list inside the replica spec, not the
+    #: spec's own Poisson stream.  The per-request outcomes travel back
+    #: in ``RunSummary.request_stats`` for fleet aggregation.
+    replica: Optional[ReplicaSpec] = None
     #: Ask the worker to run under a private metrics registry and ship the
     #: full histogram states (not just scalar summaries) back in the
     #: envelope, so matrix callers can merge distributions across cells
@@ -110,6 +116,7 @@ class SimTask:
             "scale": self.scale,
             "ablation": self.ablation,
             "serving": self.serving,
+            "replica": self.replica,
         }
         # Engine fast-path layers change summary fields (event counts,
         # fastpath.* details) even when the physics is identical, so runs
@@ -172,6 +179,10 @@ class RunSummary:
     #: empty tuple means collected-but-nothing-recorded, so cache entries
     #: distinguish the two).
     histograms: Optional[Tuple[Dict[str, object], ...]] = None
+    #: Per-request outcome rows for fleet replica tasks
+    #: (:func:`repro.llm.fleet.encode_request_stats`); ``None`` for every
+    #: other task kind.  Cache schema v5 field.
+    request_stats: Optional[Tuple[Tuple[float, ...], ...]] = None
 
     @classmethod
     def from_result(cls, result, windows: Optional[int] = None,
@@ -220,6 +231,8 @@ class RunSummary:
         out["details"] = [list(p) for p in self.details]
         if self.histograms is not None:
             out["histograms"] = [dict(h) for h in self.histograms]
+        if self.request_stats is not None:
+            out["request_stats"] = [list(r) for r in self.request_stats]
         return out
 
     @classmethod
@@ -233,6 +246,9 @@ class RunSummary:
                               for k, v in kw.get("details", ()))
         if kw.get("histograms") is not None:
             kw["histograms"] = tuple(dict(h) for h in kw["histograms"])
+        if kw.get("request_stats") is not None:
+            kw["request_stats"] = tuple(
+                tuple(float(x) for x in r) for r in kw["request_stats"])
         return cls(**kw)
 
 
@@ -261,6 +277,11 @@ def summary_satisfies(task: SimTask, summary: RunSummary) -> bool:
     re-simulates on mismatch, overwriting the entry with a richer one.
     """
     if task.collect_histograms and summary.histograms is None:
+        return False
+    # Replica tasks need the per-request rows back for aggregation; an
+    # entry written by a non-replica run of the same shape (impossible
+    # under one schema, but cheap to guard) re-simulates.
+    if task.replica is not None and summary.request_stats is None:
         return False
     if task.utilization_windows is None:
         return True
@@ -319,7 +340,11 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
         prev_metrics = current_metrics()
         obs.install(metrics=obs.MetricsRegistry())
     try:
-        if task.serving is not None:
+        serving = None
+        if task.replica is not None:
+            serving = _run_replica(task)
+            result = serving.run
+        elif task.serving is not None:
             result = _run_serving(task)
         elif task.ablation is not None:
             result = _run_ablation(task)
@@ -330,6 +355,10 @@ def _execute_task(task: SimTask) -> Tuple[RunSummary, float]:
         summary = RunSummary.from_result(
             result, windows=task.utilization_windows,
             histograms=task.collect_histograms)
+        if serving is not None:
+            from ..llm.fleet import encode_request_stats
+            summary = replace(summary,
+                              request_stats=encode_request_stats(serving))
     finally:
         if prev_metrics is not None:
             from .. import obs
@@ -384,6 +413,9 @@ def _execute_task_observed(
 
 def _task_label(task: SimTask) -> str:
     """Human-readable span name for the meta-trace / progress board."""
+    if task.replica is not None:
+        return (f"{task.system} fleet:"
+                f"{task.replica.role}{task.replica.index}")
     if task.serving is not None:
         return f"{task.system} serving"
     if task.ablation is not None:
@@ -408,6 +440,30 @@ def _run_serving(task: SimTask):
                            **dict(task.kwargs))
     return simulate_serving(instance, task.serving,
                             style=style_for(task.system)).run
+
+
+def _run_replica(task: SimTask):
+    """One fleet replica's serving run (the fig22 workload unit).
+
+    Identical to :func:`_run_serving` except the request stream is the
+    router's explicit pre-routed list, not the spec's Poisson stream, and
+    the full :class:`~repro.llm.serving.ServingResult` is kept so the
+    caller can ship per-request outcomes back for fleet aggregation."""
+    from ..llm.serving import simulate_serving
+    from ..systems import make_system
+    from .runner import style_for
+    rs = task.replica
+    model = rs.model
+    if model is None:
+        from ..llm.models import by_name
+        model = by_name(rs.spec.model)
+    instance = make_system(task.system, task.config,
+                           tiling=task.scale.tiling,
+                           chunk_bytes=task.scale.coll_chunk_bytes,
+                           **dict(task.kwargs))
+    return simulate_serving(instance, rs.spec, model=model,
+                            style=style_for(task.system),
+                            requests=rs.to_requests())
 
 
 def _run_ablation(task: SimTask):

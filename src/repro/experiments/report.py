@@ -496,7 +496,8 @@ def experiment_report(experiment: str, scale: Scale, ctx=None) -> Dict:
     ``fig20_serving`` emits the fault-free serving report; ``fig19`` the
     faulted one (intensity 1.0, the sweep's peak, honoring an ambient
     ``--fault-seed``); ``fig21`` the faulted run with fig21's resilience
-    mechanisms armed (shed admission, retry budget).
+    mechanisms armed (shed admission, retry budget); ``fig22`` drills
+    into the fleet's replica-0 stream at peak load.
     """
     fault_seed = (ctx.fault_spec.fault_seed
                   if ctx is not None and ctx.fault_spec is not None else 0)
@@ -512,8 +513,11 @@ def experiment_report(experiment: str, scale: Scale, ctx=None) -> Dict:
                           slo_ttft_ms=SLO_TTFT_MS,
                           admission_policy="shed",
                           retry_budget=RETRY_BUDGET)
+    if experiment == "fig22":
+        from .fig22_fleet import replica_zero_report
+        return replica_zero_report(scale=scale)
     raise ValueError(
-        f"--report supports fig19, fig20_serving and fig21, "
+        f"--report supports fig19, fig20_serving, fig21 and fig22, "
         f"not {experiment!r}")
 
 

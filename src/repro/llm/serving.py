@@ -162,6 +162,12 @@ class Request:
     arrival_ns: float
     prompt_len: int
     output_len: int
+    #: KV cache already resident on arrival (disaggregated prefill/decode
+    #: handoff: the prompt's KV was computed elsewhere and shipped over
+    #: the fabric), so the first participation decodes instead of
+    #: prefilling.  Eviction still drops the cache and recomputes from
+    #: scratch — handed-off bytes are not replayable.
+    warm: bool = False
 
 
 @dataclass
@@ -348,6 +354,10 @@ class ContinuousBatcher:
         worst = (spec.prompt_max + spec.output_max) * self.kvpt
         self.budget = (spec.kv_budget_bytes if spec.kv_budget_bytes
                        is not None else spec.max_batch_requests * worst)
+        if not requests:
+            raise WorkloadError(
+                "serving needs at least one request (an explicit request "
+                "list was empty)")
         need = max((r.prompt_len + r.output_len) * self.kvpt
                    for r in requests)
         if need > self.budget:
@@ -361,7 +371,7 @@ class ContinuousBatcher:
             _Active(stats=RequestStats(rid=r.rid, arrival_ns=r.arrival_ns,
                                        prompt_len=r.prompt_len,
                                        output_len=r.output_len),
-                    prefill_pending=r.prompt_len)
+                    prefill_pending=0 if r.warm else r.prompt_len)
             for r in sorted(requests, key=lambda r: (r.arrival_ns, r.rid))]
         self.waiting: List[_Active] = []
         self.running: List[_Active] = []
@@ -445,10 +455,12 @@ class ContinuousBatcher:
         """Shed policy while gated: reject waiting requests that have no
         sunk work.  Requests with emitted tokens or (re-)prefill state
         from an eviction/abort already paid for compute the SLO math must
-        keep, so they stay queued."""
+        keep, so they stay queued — as do warm (handed-off KV) requests,
+        whose prefill was paid for on another replica."""
         kept: List[_Active] = []
         for active in self.waiting:
-            if active.emitted == 0 and active.stats.evictions == 0 \
+            if active.emitted == 0 and active.prefill_pending \
+                    and active.stats.evictions == 0 \
                     and active.stats.aborts == 0:
                 active.stats.shed = True
                 active.stats.finish_ns = now_ns
@@ -714,12 +726,18 @@ def _exact_quantile(values: List[float], q: float) -> float:
 
 def simulate_serving(system, spec: ServingSpec,
                      model: Optional[ModelConfig] = None,
-                     style: str = "sp") -> ServingResult:
+                     style: str = "sp",
+                     requests: Optional[Sequence[Request]] = None,
+                     ) -> ServingResult:
     """Serve ``spec``'s request stream on ``system`` to completion.
 
     ``model`` defaults to the Table-I model named by ``spec.model``;
     ``style`` picks the TP lowering the system executes (callers use
-    :func:`repro.experiments.runner.style_for`).  The driver replans the
+    :func:`repro.experiments.runner.style_for`).  ``requests`` overrides
+    the generated stream with an explicit list (the fleet router's
+    per-replica assignments, :mod:`repro.llm.fleet`); every code path
+    after generation is shared, so a 1-replica fleet run is byte-identical
+    to the default path on the same stream.  The driver replans the
     batch at every iteration boundary *inside* the simulation: arrivals
     are simulator events, so admission order depends on simulated time,
     and two systems see identical request streams but batch them
@@ -731,7 +749,10 @@ def simulate_serving(system, spec: ServingSpec,
         model = by_name(spec.model)
     tp = system.config.num_gpus
     validate_tp_partition(model, tp)
-    requests = generate_requests(spec)
+    if requests is None:
+        requests = generate_requests(spec)
+    else:
+        requests = list(requests)
     batcher = ContinuousBatcher(spec, model, requests)
     session = system.session()
     sim = session.harness.sim

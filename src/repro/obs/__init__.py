@@ -36,7 +36,8 @@ from .causality import CausalityRecorder, NullCausality
 from .ledger import LEDGER_ENV, LEDGER_SCHEMA, NullLedger, RunLedger, \
     ledger_from_env
 from .metrics import (Counter, EmptyDistributionWarning, Gauge, Histogram,
-                      MetricsRegistry, NullMetrics, merge_histogram_states)
+                      MetricsRegistry, NullMetrics, merge_histogram_states,
+                      reset_empty_distribution_warnings)
 from .profiler import SimProfiler
 from .requests import NullRequestLog, RequestLog
 from .timeseries import NullTimeSeries, TimeSeriesSink
@@ -51,6 +52,7 @@ __all__ = [
     "current_metrics", "current_profiler", "current_causality",
     "current_timeseries", "current_request_log", "install",
     "ledger_from_env", "merge_histogram_states", "reset",
+    "reset_empty_distribution_warnings",
 ]
 
 _NULL_TRACER = NullTracer()

@@ -28,6 +28,18 @@ class EmptyDistributionWarning(RuntimeWarning):
     """
 
 
+#: Instrument names that already warned about an empty quantile this
+#: process.  Keyed by *name*, not instance — merge rollups rebuild fresh
+#: ``Histogram`` objects per envelope (``from_state``/``merge``), so an
+#: instance-keyed guard would still warn once per merged replica.
+_EMPTY_WARNED: set = set()
+
+
+def reset_empty_distribution_warnings() -> None:
+    """Re-arm the one-warning-per-instrument guard (test isolation)."""
+    _EMPTY_WARNED.clear()
+
+
 class Counter:
     """Monotonically increasing count."""
 
@@ -99,9 +111,16 @@ class Histogram:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            warnings.warn(
-                f"quantile({q:g}) of empty histogram {self.name!r} is nan",
-                EmptyDistributionWarning, stacklevel=2)
+            # Warn once per instrument name per process: many-replica
+            # fleet rollups legitimately query rebuilt-empty windows by
+            # the hundreds, and one line carries the same signal.
+            if self.name not in _EMPTY_WARNED:
+                _EMPTY_WARNED.add(self.name)
+                warnings.warn(
+                    f"quantile({q:g}) of empty histogram {self.name!r} "
+                    f"is nan (further empty-quantile warnings for this "
+                    f"instrument are suppressed)",
+                    EmptyDistributionWarning, stacklevel=2)
             return math.nan
         rank = q * self.count
         seen = 0

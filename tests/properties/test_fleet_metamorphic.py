@@ -1,0 +1,161 @@
+"""Metamorphic properties of the fleet layer (PR 10).
+
+Three relations pin the fleet machinery to things we already trust:
+
+* **Anchor** — a 1-replica fleet with routing disabled is byte-identical
+  to the plain single-session serving path (`simulate_serving`): same
+  per-request outcomes, same makespan.  The whole replica fan-out
+  (request encoding → SimTask.replica → worker → RunSummary.request_stats
+  → aggregation) must be an exact no-op wrapper in this configuration.
+* **Scaling** — doubling the replica count under a *fixed* offered burst
+  never decreases SLO attainment at any fixed TTFT threshold: round-robin
+  assignments at 2R nest inside those at R, so each replica serves a
+  subset wave of what it served before.
+* **Degradation** — nested fault intensities (the fault set at a lower
+  intensity is structurally a subset of the set at a higher one, see
+  FaultSpec) degrade fleet throughput monotonically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import dgx_h100_config
+from repro.experiments.fig19_resilience import fault_spec_for
+from repro.experiments.fig22_fleet import run_fleet
+from repro.experiments.runner import Scale, style_for
+from repro.llm.fleet import FleetSpec
+from repro.llm.models import ModelConfig
+from repro.llm.serving import ServingSpec, simulate_serving
+from repro.llm.tiling import TilingConfig
+from repro.systems import make_system
+
+TINY = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                   seq_len=64, batch=4, layers=4)
+TILING = TilingConfig(tile=32, chunk_bytes=32768, red_chunk_bytes=8192)
+SCALE = Scale(tokens_fraction=1.0, tiling=TILING)
+
+
+def tiny_spec(seed, **overrides) -> ServingSpec:
+    base = dict(model="tiny", seed=seed, arrival_rate_rps=100_000.0,
+                max_arrival_rate_rps=200_000.0, horizon_ms=0.05,
+                prompt_min=8, prompt_max=24, output_min=1, output_max=3,
+                max_batch_requests=4)
+    base.update(overrides)
+    return ServingSpec(**base)
+
+
+def burst_spec(seed) -> ServingSpec:
+    # Arrival window (2 us) shorter than any iteration: each replica
+    # serves its assignment as one or two waves, so a smaller assignment
+    # can only move requests into earlier waves.
+    return tiny_spec(seed, arrival_rate_rps=2_000_000.0,
+                     max_arrival_rate_rps=2_000_000.0, horizon_ms=0.002,
+                     max_batch_requests=32, kv_budget_bytes=None)
+
+
+def run_tiny_fleet(fleet, system="CAIS", config=None):
+    return run_fleet(
+        system, fleet,
+        config=config or dgx_h100_config(num_gpus=4, seed=1),
+        scale=SCALE, model=TINY, kwargs=(("jitter", False),))
+
+
+def rows(stats):
+    """Comparable per-request outcome rows, fleet- and session-shaped."""
+    return sorted(
+        (s.rid, s.arrival_ns, s.prompt_len, s.output_len,
+         s.first_token_ns, s.finish_ns, s.evictions, s.aborts, s.shed)
+        for s in stats)
+
+
+# ---------------------------------------------------------------------------
+# Anchor: 1-replica fleet == single-session serving, byte for byte
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2 ** 16),
+       system=st.sampled_from(["CAIS", "SP-NVLS", "TP-NVLS"]))
+def test_one_replica_fleet_is_the_serving_session(seed, system):
+    spec = tiny_spec(seed)
+    fleet = FleetSpec(serving=spec, replicas=1, routing=False)
+    result = run_tiny_fleet(fleet, system=system)
+
+    config = dgx_h100_config(num_gpus=4, seed=1)
+    instance = make_system(system, config, tiling=TILING,
+                           chunk_bytes=SCALE.coll_chunk_bytes,
+                           jitter=False)
+    session = simulate_serving(instance, spec, model=TINY,
+                               style=style_for(system))
+
+    assert rows(result.stats) == rows(session.stats)
+    assert rows(result.shed) == rows(session.shed)
+    assert result.makespan_ns == session.run.makespan_ns
+
+
+def test_one_replica_fleet_matches_session_with_admission():
+    # Same anchor with the PR 8 shed controller armed: shed decisions are
+    # part of the byte-identity contract, not just happy-path finishes.
+    spec = tiny_spec(5, arrival_rate_rps=200_000.0,
+                     admission_policy="shed", slo_ttft_ms=0.05)
+    fleet = FleetSpec(serving=spec, replicas=1, routing=False)
+    result = run_tiny_fleet(fleet)
+    instance = make_system("CAIS", dgx_h100_config(num_gpus=4, seed=1),
+                           tiling=TILING,
+                           chunk_bytes=SCALE.coll_chunk_bytes,
+                           jitter=False)
+    session = simulate_serving(instance, spec, model=TINY, style="sp")
+    assert rows(result.stats) == rows(session.stats)
+    assert rows(result.shed) == rows(session.shed)
+
+
+# ---------------------------------------------------------------------------
+# Scaling: more replicas never hurt attainment on a fixed trace
+# ---------------------------------------------------------------------------
+
+SLO_THRESHOLDS_NS = (50_000.0, 60_000.0, 70_000.0, 90_000.0)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_doubling_replicas_never_decreases_attainment(seed):
+    spec = burst_spec(seed)
+    attainment = {}
+    for replicas in (1, 2, 4):
+        result = run_tiny_fleet(FleetSpec(serving=spec,
+                                          replicas=replicas))
+        assert not result.shed           # admission off: nothing shed
+        attainment[replicas] = [result.slo_attainment(slo)
+                                for slo in SLO_THRESHOLDS_NS]
+    for i, slo in enumerate(SLO_THRESHOLDS_NS):
+        seq = [attainment[r][i] for r in (1, 2, 4)]
+        assert seq[0] <= seq[1] <= seq[2], (
+            f"attainment at slo={slo:.0f}ns fell while scaling out: "
+            f"1->2->4 replicas gave {seq}")
+
+
+# ---------------------------------------------------------------------------
+# Degradation: nested fault intensities, monotone throughput loss
+# ---------------------------------------------------------------------------
+
+FAULT_SEEDS = (3, 17, 101, 999, 4242)
+INTENSITIES = (0.0, 0.5, 1.0)
+
+
+def test_fault_intensity_degrades_fleet_throughput_monotonically():
+    for seed in FAULT_SEEDS:
+        tps, makespans = [], []
+        for intensity in INTENSITIES:
+            config = dgx_h100_config(num_gpus=4, seed=1).with_faults(
+                fault_spec_for(intensity, fault_seed=seed))
+            result = run_tiny_fleet(
+                FleetSpec(serving=tiny_spec(seed), replicas=2),
+                config=config)
+            tps.append(result.tokens_per_s)
+            makespans.append(result.makespan_ns)
+        assert tps[0] >= tps[1] >= tps[2], (
+            f"fault seed {seed}: tokens/s {tps} not monotone over "
+            f"intensities {INTENSITIES}")
+        assert makespans[0] <= makespans[1] <= makespans[2], (
+            f"fault seed {seed}: makespan {makespans} not monotone")
+        # Faults slow the fleet down; they never break conservation.
+        assert tps[2] > 0 and makespans[0] > 0

@@ -1,0 +1,454 @@
+"""Unit tests for the fleet layer's pure parts (repro.llm.fleet).
+
+Everything here runs without a simulation: spec validation, the
+deterministic router policies, stage-1/stage-2 planning arithmetic
+(including the KV-handoff charge), the flat request/stats encodings that
+travel through pool workers, fingerprint separation for replica tasks,
+and the conservation checks inside ``aggregate_fleet``.  The suites that
+*do* simulate live in tests/properties/test_fleet_invariants.py and
+test_fleet_metamorphic.py.
+"""
+
+import pytest
+
+from repro.common.config import dgx_h100_config
+from repro.common.errors import SimulationError, WorkloadError
+from repro.experiments.parallel import RunSummary, SimTask
+from repro.experiments.runner import Scale
+from repro.llm.fleet import (
+    FleetSpec,
+    ReplicaOutcome,
+    ReplicaSpec,
+    Router,
+    aggregate_fleet,
+    decode_request_stats,
+    encode_request_stats,
+    encode_requests,
+    plan_decode,
+    plan_fleet,
+    prefix_bucket,
+)
+from repro.llm.models import ModelConfig
+from repro.llm.serving import (
+    Request,
+    RequestStats,
+    ServingSpec,
+    generate_requests,
+    kv_bytes_per_token,
+)
+from repro.llm.tiling import TilingConfig
+
+TINY = ModelConfig(name="tiny", hidden=256, ffn_hidden=512, heads=8,
+                   seq_len=64, batch=4, layers=4)
+KVPT = kv_bytes_per_token(TINY)
+SCALE = Scale(tokens_fraction=1.0,
+              tiling=TilingConfig(chunk_bytes=32768, red_chunk_bytes=8192))
+
+
+def tiny_spec(seed: int = 3, **overrides) -> ServingSpec:
+    base = dict(model="tiny", seed=seed, arrival_rate_rps=100_000.0,
+                max_arrival_rate_rps=200_000.0, horizon_ms=0.05,
+                prompt_min=8, prompt_max=24, output_min=1, output_max=3,
+                max_batch_requests=4)
+    base.update(overrides)
+    return ServingSpec(**base)
+
+
+def tiny_fleet(**overrides) -> FleetSpec:
+    base = dict(serving=tiny_spec(), replicas=3)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+class TestFleetSpecValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(replicas=0),
+        dict(policy="weighted"),
+        dict(replicas=2, routing=False),
+        dict(replicas=1, prefill_replicas=1),   # no decode pool left
+        dict(replicas=4, prefill_replicas=4),
+        dict(replicas=4, prefill_replicas=-1),
+        dict(epoch_ms=0.0),
+        dict(handoff_gbps=0.0),
+        dict(handoff_base_ns=-1.0),
+        dict(prefix_buckets=0),
+        dict(router_decay=1.5),
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(WorkloadError, match="FleetSpec"):
+            tiny_fleet(**bad)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(WorkloadError, match="FleetSpec.policy="):
+            tiny_fleet(policy="weighted")
+
+    def test_one_replica_routing_disabled_is_legal(self):
+        fleet = tiny_fleet(replicas=1, routing=False)
+        assert not fleet.disaggregated
+        assert fleet.decode_replicas == 1
+
+    def test_disaggregation_accessors(self):
+        fleet = tiny_fleet(replicas=4, prefill_replicas=1)
+        assert fleet.disaggregated
+        assert fleet.decode_replicas == 3
+
+    def test_handoff_cost_model(self):
+        fleet = tiny_fleet(handoff_gbps=50.0, handoff_base_ns=2000.0)
+        # base + bytes / (GB/s): 5 GB at 50 GB/s = 0.1 s = 1e8 ns.
+        assert fleet.handoff_ns(5 * 10 ** 9) == \
+            pytest.approx(2000.0 + 1e8)
+        assert fleet.handoff_ns(0) == 2000.0
+
+
+# ---------------------------------------------------------------------------
+# Router policies (pure, no simulation)
+# ---------------------------------------------------------------------------
+
+def _requests(n, spacing_ns=10.0, prompt=8, output=2):
+    return [Request(rid=i, arrival_ns=i * spacing_ns, prompt_len=prompt,
+                    output_len=output) for i in range(n)]
+
+
+class TestRouter:
+    def test_round_robin_cycles(self):
+        router = Router(tiny_fleet(policy="round-robin"), pool=3,
+                        kvpt=KVPT)
+        picks = [router.route(r, bucket=0) for r in _requests(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_prefix_affinity_follows_bucket(self):
+        router = Router(tiny_fleet(policy="prefix-affinity"), pool=3,
+                        kvpt=KVPT)
+        reqs = _requests(6)
+        picks = [router.route(r, bucket=b)
+                 for r, b in zip(reqs, (0, 5, 0, 5, 2, 7))]
+        assert picks == [0, 2, 0, 2, 2, 1]
+
+    def test_least_kv_prefers_lowest_estimate(self):
+        router = Router(tiny_fleet(policy="least-kv"), pool=2, kvpt=KVPT)
+        a, b, c = _requests(3, spacing_ns=1.0, prompt=8, output=2)
+        assert router.route(a, 0) == 0          # ties break to index 0
+        assert router.route(b, 0) == 1          # 0 now loaded
+        # Replica 1 carries the bigger request; next goes to 0.
+        big = Request(rid=9, arrival_ns=2.0, prompt_len=64, output_len=8)
+        router.outstanding[1] += 100 * KVPT
+        assert router.route(big, 0) == 0
+
+    def test_least_kv_decays_once_per_epoch(self):
+        fleet = tiny_fleet(policy="least-kv", epoch_ms=0.001,
+                           router_decay=0.5)
+        router = Router(fleet, pool=2, kvpt=KVPT)
+        first = Request(rid=0, arrival_ns=0.0, prompt_len=10, output_len=0)
+        router.route(first, 0)
+        loaded = router.outstanding[0]
+        assert loaded == 10 * KVPT
+        # Two epoch boundaries (epoch_ms=1us -> 2us later) halve twice.
+        later = Request(rid=1, arrival_ns=2_000.0, prompt_len=1,
+                        output_len=0)
+        router.route(later, 0)
+        assert router.outstanding[0] >= loaded * 0.25
+        assert router.outstanding[0] < loaded * 0.25 + 2 * KVPT
+
+    def test_decisions_read_only_router_state(self):
+        """Same stream, same picks — routing is a pure function of the
+        offered stream, never of replica execution."""
+        for policy in ("round-robin", "least-kv", "prefix-affinity"):
+            fleet = tiny_fleet(policy=policy)
+            reqs = _requests(20)
+            picks = [
+                [Router(fleet, 3, KVPT).route(r, r.rid % 8) for r in reqs]
+                for _ in range(2)]
+            # Rebuild per run: two fresh routers agree pick for pick.
+            a = Router(fleet, 3, KVPT)
+            b = Router(fleet, 3, KVPT)
+            assert [a.route(r, r.rid % 8) for r in reqs] == \
+                [b.route(r, r.rid % 8) for r in reqs]
+            assert picks[0] == picks[1]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(WorkloadError, match="pool"):
+            Router(tiny_fleet(), pool=0, kvpt=KVPT)
+
+
+def test_prefix_bucket_is_deterministic_and_in_range():
+    seen = set()
+    for rid in range(64):
+        b = prefix_bucket(7, rid, 16)
+        assert b == prefix_bucket(7, rid, 16)
+        assert 0 <= b < 16
+        seen.add(b)
+    assert len(seen) > 4          # uniform-ish, not constant
+    assert prefix_bucket(7, 0, 16) != prefix_bucket(8, 0, 16) or \
+        prefix_bucket(7, 1, 16) != prefix_bucket(8, 1, 16)
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+class TestPlanFleet:
+    def test_assignment_covers_every_request(self):
+        fleet = tiny_fleet()
+        plan = plan_fleet(fleet, model=TINY)
+        rids = {r.rid for r in generate_requests(fleet.serving)}
+        assert set(plan.assignment) == rids
+        assert set(plan.buckets) == rids
+        planned = {int(t[0]) for rs in plan.stage1 for t in rs.requests}
+        assert planned == rids
+
+    def test_routing_disabled_passes_stream_through(self):
+        fleet = tiny_fleet(replicas=1, routing=False)
+        plan = plan_fleet(fleet, model=TINY)
+        assert len(plan.stage1) == 1
+        assert plan.stage1[0].to_requests() == \
+            generate_requests(fleet.serving)
+        assert set(plan.assignment.values()) == {0}
+
+    def test_replica_requests_keep_arrival_order(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        for rs in plan.stage1:
+            arrivals = [t[1] for t in rs.requests]
+            assert arrivals == sorted(arrivals)
+
+    def test_disaggregated_stage1_prefills_one_token(self):
+        fleet = tiny_fleet(replicas=3, prefill_replicas=1)
+        plan = plan_fleet(fleet, model=TINY)
+        assert {rs.role for rs in plan.stage1} == {"prefill"}
+        assert all(t[3] == 1 for rs in plan.stage1 for t in rs.requests)
+        # Original output lengths survive in the plan for stage 2.
+        assert any(r.output_len > 1 for r in plan.requests)
+
+    def test_empty_replicas_get_no_run(self):
+        # 8 requests over 64 replicas: most replicas receive nothing and
+        # must not produce a (crashing) zero-request simulation task.
+        plan = plan_fleet(tiny_fleet(replicas=64), model=TINY)
+        assert 0 < len(plan.stage1) <= 8
+        assert all(rs.requests for rs in plan.stage1)
+
+
+class TestPlanDecode:
+    def _prefill_stats(self, plan, shed_rids=()):
+        out = []
+        for r in plan.requests:
+            shed = r.rid in shed_rids
+            out.append(RequestStats(
+                rid=r.rid, arrival_ns=r.arrival_ns,
+                prompt_len=r.prompt_len, output_len=1,
+                first_token_ns=None if shed else r.arrival_ns + 50.0,
+                finish_ns=None if shed else r.arrival_ns + 100.0,
+                shed=shed))
+        return out
+
+    def test_handoff_arithmetic(self):
+        fleet = tiny_fleet(replicas=3, prefill_replicas=1,
+                           handoff_gbps=10.0, handoff_base_ns=500.0)
+        plan = plan_fleet(fleet, model=TINY)
+        stage2 = plan_decode(plan, self._prefill_stats(plan))
+        originals = {r.rid: r for r in plan.requests}
+        decoded = {int(t[0]): t for rs in stage2 for t in rs.requests}
+        for rid, (_, arrival, prompt, output, warm) in decoded.items():
+            orig = originals[rid]
+            kv = (orig.prompt_len + 1) * KVPT
+            handoff = 500.0 + kv / 10.0
+            assert plan.handoffs[rid] == (handoff, kv)
+            assert arrival == pytest.approx(
+                orig.arrival_ns + 100.0 + handoff)
+            assert prompt == orig.prompt_len + 1
+            assert output == orig.output_len - 1
+            assert warm is True
+        # Only multi-token, non-shed requests reach the decode pool.
+        expected = {r.rid for r in plan.requests if r.output_len > 1}
+        assert set(decoded) == expected
+
+    def test_shed_and_single_token_requests_skip_decode(self):
+        fleet = tiny_fleet(replicas=3, prefill_replicas=1)
+        plan = plan_fleet(fleet, model=TINY)
+        victim = next(r.rid for r in plan.requests if r.output_len > 1)
+        stage2 = plan_decode(plan, self._prefill_stats(plan, {victim}))
+        decoded = {int(t[0]) for rs in stage2 for t in rs.requests}
+        assert victim not in decoded
+        assert all(r.rid not in decoded
+                   for r in plan.requests if r.output_len <= 1)
+
+    def test_decode_pool_never_sheds(self):
+        fleet = tiny_fleet(serving=tiny_spec(admission_policy="shed",
+                                             slo_ttft_ms=1.0),
+                           replicas=3, prefill_replicas=1)
+        plan = plan_fleet(fleet, model=TINY)
+        stage2 = plan_decode(plan, self._prefill_stats(plan))
+        assert all(rs.spec.admission_policy == "none" for rs in stage2)
+
+    def test_rejects_undisaggregated_plan(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        with pytest.raises(WorkloadError, match="undisaggregated"):
+            plan_decode(plan, [])
+
+
+# ---------------------------------------------------------------------------
+# Encodings
+# ---------------------------------------------------------------------------
+
+class TestEncodings:
+    def test_request_round_trip(self):
+        reqs = [Request(rid=3, arrival_ns=1.5, prompt_len=8, output_len=2),
+                Request(rid=4, arrival_ns=2.5, prompt_len=9, output_len=1,
+                        warm=True)]
+        rs = ReplicaSpec(role="replica", index=0, spec=tiny_spec(),
+                         requests=encode_requests(reqs))
+        assert rs.to_requests() == reqs
+
+    def test_stats_round_trip_including_shed(self):
+        stats = [
+            RequestStats(rid=0, arrival_ns=1.0, prompt_len=8,
+                         output_len=2, first_token_ns=5.0, finish_ns=9.0,
+                         evictions=1, aborts=2),
+            RequestStats(rid=1, arrival_ns=2.0, prompt_len=9,
+                         output_len=3, shed=True),
+        ]
+        class FakeServing:
+            pass
+        fake = FakeServing()
+        fake.stats = [stats[0]]
+        fake.shed = [stats[1]]
+        rows = encode_request_stats(fake)
+        assert decode_request_stats(rows) == stats
+        # Rows are JSON-flat floats, sorted by rid.
+        assert [r[0] for r in rows] == [0.0, 1.0]
+        assert all(isinstance(x, float) for row in rows for x in row)
+
+    def test_run_summary_round_trips_request_stats(self):
+        summary = RunSummary(
+            system="CAIS", makespan_ns=10.0, compute_ns=5.0,
+            tbs_completed=1, events=2, gpu_utilization=0.5,
+            avg_bandwidth_utilization=0.5, link_bytes_total=1,
+            merge_peak_bytes_per_port=0.0, merge_average_wait_ns=0.0,
+            request_stats=((0.0, 1.0, 8.0, 2.0, 5.0, 9.0, 0.0, 0.0, 0.0),))
+        again = RunSummary.from_dict(summary.to_dict())
+        assert again == summary
+        assert RunSummary.from_dict(
+            RunSummary(system="CAIS", makespan_ns=1.0, compute_ns=1.0,
+                       tbs_completed=0, events=0, gpu_utilization=0.0,
+                       avg_bandwidth_utilization=0.0, link_bytes_total=0,
+                       merge_peak_bytes_per_port=0.0,
+                       merge_average_wait_ns=0.0).to_dict()
+        ).request_stats is None
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints (cache schema v5)
+# ---------------------------------------------------------------------------
+
+class TestFingerprints:
+    def _task(self, replica):
+        return SimTask(system="CAIS", graphs=(),
+                       config=dgx_h100_config(seed=1), scale=SCALE,
+                       replica=replica)
+
+    def test_replica_tasks_never_alias_serving_tasks(self):
+        plan = plan_fleet(tiny_fleet(replicas=1, routing=False),
+                          model=TINY)
+        replica_fp = self._task(plan.stage1[0]).fingerprint()
+        serving_fp = SimTask(system="CAIS", graphs=(),
+                             config=dgx_h100_config(seed=1), scale=SCALE,
+                             serving=tiny_spec()).fingerprint()
+        assert replica_fp != serving_fp
+
+    def test_fingerprint_sees_routing_differences(self):
+        fps = set()
+        for policy in ("round-robin", "least-kv", "prefix-affinity"):
+            plan = plan_fleet(tiny_fleet(policy=policy), model=TINY)
+            fps.update(self._task(rs).fingerprint()
+                       for rs in plan.stage1)
+        # 3 policies x up-to-3 replicas, all distinct request splits or
+        # indices — no two replica runs may share a cache entry unless
+        # their request lists are identical.
+        by_requests = {}
+        for policy in ("round-robin", "least-kv", "prefix-affinity"):
+            for rs in plan_fleet(tiny_fleet(policy=policy),
+                                 model=TINY).stage1:
+                by_requests.setdefault(rs.requests, set()).add(
+                    self._task(rs).fingerprint())
+        for prints in by_requests.values():
+            assert len(prints) == 1
+        assert len({next(iter(v)) for v in by_requests.values()}) == \
+            len(by_requests)
+
+    def test_fingerprint_sees_role_and_index(self):
+        rs = plan_fleet(tiny_fleet(replicas=1, routing=False),
+                        model=TINY).stage1[0]
+        import dataclasses
+        other = dataclasses.replace(rs, role="decode")
+        shifted = dataclasses.replace(rs, index=1)
+        fps = {self._task(r).fingerprint() for r in (rs, other, shifted)}
+        assert len(fps) == 3
+
+
+# ---------------------------------------------------------------------------
+# Aggregation + conservation
+# ---------------------------------------------------------------------------
+
+def _outcomes_for(plan):
+    outcomes = []
+    for rs in plan.stage1:
+        stats = [RequestStats(
+            rid=int(t[0]), arrival_ns=t[1], prompt_len=int(t[2]),
+            output_len=int(t[3]), first_token_ns=t[1] + 10.0,
+            finish_ns=t[1] + 20.0) for t in rs.requests]
+        outcomes.append(ReplicaOutcome(
+            role=rs.role, index=rs.index, makespan_ns=100.0 + rs.index,
+            details={"serving.requests": float(len(stats))},
+            stats=stats))
+    return outcomes
+
+
+class TestAggregate:
+    def test_zero_rows_for_idle_replicas(self):
+        plan = plan_fleet(tiny_fleet(replicas=64), model=TINY)
+        result = aggregate_fleet(plan, _outcomes_for(plan))
+        assert len(result.per_replica) == 64
+        idle = [row for row in result.per_replica
+                if row["requests"] == 0.0]
+        assert idle and all(row["makespan_ns"] == 0.0 for row in idle)
+        assert result.makespan_ns == max(
+            o.makespan_ns for o in _outcomes_for(plan))
+
+    def test_shed_counts_against_attainment(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        outcomes = _outcomes_for(plan)
+        victim = outcomes[0].stats[0]
+        victim.shed = True
+        victim.first_token_ns = victim.finish_ns = None
+        result = aggregate_fleet(plan, outcomes)
+        n = result.offered
+        assert len(result.shed) == 1
+        # Everyone else met any generous SLO; the shed one still counts.
+        assert result.slo_attainment(1e12) == pytest.approx((n - 1) / n)
+
+    def test_duplicate_report_is_conservation_violation(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        outcomes = _outcomes_for(plan)
+        outcomes.append(ReplicaOutcome(
+            role="replica", index=2, makespan_ns=1.0, details={},
+            stats=[outcomes[0].stats[0]]))
+        with pytest.raises(SimulationError, match="twice"):
+            aggregate_fleet(plan, outcomes)
+
+    def test_vanished_request_is_conservation_violation(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        outcomes = _outcomes_for(plan)
+        outcomes[0].stats.pop()
+        with pytest.raises(SimulationError, match="vanished"):
+            aggregate_fleet(plan, outcomes)
+
+    def test_unknown_request_is_conservation_violation(self):
+        plan = plan_fleet(tiny_fleet(), model=TINY)
+        outcomes = _outcomes_for(plan)
+        outcomes[0].stats.append(RequestStats(
+            rid=10 ** 6, arrival_ns=0.0, prompt_len=1, output_len=1,
+            first_token_ns=1.0, finish_ns=2.0))
+        with pytest.raises(SimulationError, match="unknown"):
+            aggregate_fleet(plan, outcomes)

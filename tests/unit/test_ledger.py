@@ -291,6 +291,63 @@ class TestQuerySummarize:
         assert hit["sim_wall_ms_total"] == 0.0
 
 
+def replica_task(role="replica", index=0, seed=2026) -> SimTask:
+    from repro.llm.fleet import ReplicaSpec
+    from repro.llm.serving import ServingSpec
+    spec = ServingSpec(model="Mega-GPT-4B", seed=seed)
+    replica = ReplicaSpec(role=role, index=index, spec=spec,
+                          requests=((0, 0.0, 8, 2, False),))
+    return SimTask(system="CAIS", graphs=(),
+                   config=dgx_h100_config(seed=seed), scale=SCALE,
+                   replica=replica)
+
+
+class TestFleetRole:
+    """Satellite: fleet runs must not alias single-session serving."""
+
+    def test_replica_task_spec_carries_fleet_role(self):
+        spec = task_spec(replica_task(role="prefill", index=2))
+        assert spec["workload"] == "fleet"
+        assert spec["role"] == "prefill[2]"
+        assert spec["model"] == "Mega-GPT-4B"
+        # The per-replica serving spec is what ran, so it is recorded.
+        assert spec["serving"]["model"] == "Mega-GPT-4B"
+        json.dumps(spec, sort_keys=True)   # digest stays serializable
+
+    def test_non_fleet_specs_have_no_role(self):
+        assert task_spec(tiny_task())["role"] is None
+
+    def test_summarize_keys_on_fleet_role(self):
+        def rec_for(task, makespan):
+            return build_record(
+                fingerprint=task.fingerprint(), spec=task_spec(task),
+                metrics={"makespan_ns": makespan, "events": 1},
+                cache_hit=False, wall_ms=1.0)
+
+        records = [rec_for(replica_task(role="replica", index=0), 10.0),
+                   rec_for(replica_task(role="replica", index=1), 20.0),
+                   rec_for(replica_task(role="prefill", index=0), 30.0)]
+        groups = summarize_records(records)
+        # Three fleet records, three rollup rows — roles never alias.
+        assert [(g["workload"], g["role"]) for g in groups] == \
+            [("fleet", "prefill[0]"), ("fleet", "replica[0]"),
+             ("fleet", "replica[1]")]
+        assert all(g["runs"] == 1 for g in groups)
+
+    def test_summarize_mixes_roled_and_roleless_records(self):
+        fleet_rec = build_record(
+            fingerprint="d" * 64,
+            spec=task_spec(replica_task()),
+            metrics={"makespan_ns": 5.0, "events": 1},
+            cache_hit=False, wall_ms=1.0)
+        groups = summarize_records([valid_record(), fleet_rec])
+        # None-roled legacy records sort alongside roled ones (no
+        # None-vs-str comparison), each in its own group.
+        assert [(g["system"], g["workload"], g["role"]) for g in groups] \
+            == [("CAIS", "fleet", "replica[0]"),
+                ("CAIS", "graphs", None)]
+
+
 class TestRegress:
     def test_empty_ledger_is_a_problem(self):
         assert regress_check([]) != []

@@ -309,6 +309,8 @@ def test_histogram_quantile_walks_log2_buckets():
 
 
 def test_histogram_quantile_edge_cases():
+    from repro.obs import reset_empty_distribution_warnings
+    reset_empty_distribution_warnings()  # warn-once is process-global
     registry = MetricsRegistry()
     h = registry.histogram("q")
     with pytest.warns(EmptyDistributionWarning, match="'q'"):
@@ -324,6 +326,27 @@ def test_histogram_quantile_edge_cases():
         assert h.quantile(0.0) == 100.0
         assert h.quantile(0.5) == 100.0
         assert h.quantile(1.0) == 100.0
+
+
+def test_histogram_empty_quantile_warns_once_per_instrument():
+    from repro.obs.metrics import (Histogram,
+                                   reset_empty_distribution_warnings)
+    reset_empty_distribution_warnings()
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # Merge rollups rebuild fresh empty instances per envelope —
+            # only the first query of each instrument *name* may warn.
+            for _ in range(5):
+                assert math.isnan(Histogram("fleet.ttft").quantile(0.95))
+            assert math.isnan(Histogram("fleet.tpot").quantile(0.5))
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, EmptyDistributionWarning)]
+        assert len(messages) == 2
+        assert any("'fleet.ttft'" in m for m in messages)
+        assert any("'fleet.tpot'" in m for m in messages)
+    finally:
+        reset_empty_distribution_warnings()
 
 
 # ---------------------------------------------------------------------------

@@ -192,6 +192,8 @@ def test_window_sketch_quantile_of_untouched_window_is_nan():
     # explicitly-rebuilt empty histogram answers nan with a warning
     # rather than raising.
     assert "sketches" not in snap["windows"][1]
+    from repro.obs import reset_empty_distribution_warnings
+    reset_empty_distribution_warnings()  # warn-once is process-global
     empty = Histogram("lat")
     with pytest.warns(EmptyDistributionWarning):
         assert math.isnan(empty.quantile(0.95))
